@@ -1,0 +1,123 @@
+"""Ablation (§IV-B): asymmetric ops only at key exchange; ECC option.
+
+Quantifies two design claims:
+
+1. "Only the control plane employs intensive asymmetric key operations
+   during the key exchange ... whereas the data plane utilizes light-weight
+   symmetric keys" — we transfer increasing volumes over one association
+   and show the asymmetric op count stays constant while symmetric time
+   scales with bytes.
+2. "The latest version of HIP supports also elliptic-curve cryptography
+   that can curb the processing costs" — we compare BEX crypto seconds for
+   RSA-1024/2048 vs ECDSA P-256 identities.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.crypto.costmodel import CostModel
+from repro.hip.daemon import HipConfig, HipDaemon
+from repro.hip.identity import HostIdentity
+from repro.net.addresses import ipv4
+from repro.net.packet import VirtualPayload
+from repro.net.tcp import TcpStack
+from repro.net.topology import lan_pair
+from repro.sim import Simulator
+
+A, B = ipv4("10.0.0.1"), ipv4("10.0.0.2")
+
+
+def _transfer_over_hip(ident_a, ident_b, n_bytes: int):
+    """One association + n_bytes bulk transfer; returns the initiator meter."""
+    sim = Simulator()
+    a, b = lan_pair(sim, "a", "b", bandwidth_bps=1e9)
+    cfg = HipConfig(real_crypto=False)
+    da = HipDaemon(a, ident_a, rng=random.Random(1), config=cfg)
+    db = HipDaemon(b, ident_b, rng=random.Random(2), config=cfg)
+    da.add_peer(db.hit, [B])
+    db.add_peer(da.hit, [A])
+    ta, tb = TcpStack(a), TcpStack(b)
+
+    def server():
+        listener = tb.listen(80)
+        conn = yield listener.accept()
+        yield from conn.recv_bytes(n_bytes)
+
+    def client():
+        conn = yield sim.process(ta.open_connection(db.hit, 80))
+        conn.write(VirtualPayload(n_bytes))
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=300)
+    return da.meter
+
+
+@pytest.mark.benchmark(group="ablation-crypto")
+def test_asymmetric_constant_symmetric_scales(benchmark, bench_mode, report_dir):
+    gen = random.Random(7)
+    ident_a = HostIdentity.generate(gen, "rsa", rsa_bits=bench_mode["rsa_bits"])
+    ident_b = HostIdentity.generate(gen, "rsa", rsa_bits=bench_mode["rsa_bits"])
+    volumes = [100_000, 1_000_000, 5_000_000]
+    meters = benchmark.pedantic(
+        lambda: [_transfer_over_hip(ident_a, ident_b, v) for v in volumes],
+        rounds=1, iterations=1,
+    )
+
+    lines = ["Ablation — control-plane vs data-plane crypto cost per transfer",
+             f"{'bytes':>10s} | {'asym ops':>8s} | {'asym s':>8s} | "
+             f"{'sym ops':>8s} | {'sym s':>8s}"]
+    rows = []
+    for volume, meter in zip(volumes, meters):
+        asym_ops = meter.total_ops("asym.")
+        asym_s = meter.seconds_by("asym.")
+        sym_ops = meter.total_ops("esp.")
+        sym_s = meter.seconds_by("esp.")
+        rows.append((volume, asym_ops, asym_s, sym_ops, sym_s))
+        lines.append(f"{volume:10d} | {asym_ops:8d} | {asym_s:8.5f} | "
+                     f"{sym_ops:8d} | {sym_s:8.5f}")
+    write_report(report_dir, "ablation_crypto_split", lines)
+
+    # Asymmetric op count is flat; symmetric time scales ~linearly with bytes.
+    assert rows[0][1] == rows[1][1] == rows[2][1]
+    assert rows[2][4] > rows[0][4] * 10
+    # At 5 MB the symmetric work dominates the asymmetric handshake work for
+    # 512/1024-bit identities only in op count — report both regardless.
+    assert rows[2][3] > 100 * rows[2][1]
+
+
+@pytest.mark.benchmark(group="ablation-crypto")
+def test_ecdsa_curbs_control_plane_cost(benchmark, report_dir):
+    cm = CostModel()
+
+    def bex_cost(alg: str) -> float:
+        """Asymmetric seconds for one full BEX with the given HI algorithm."""
+        if alg.startswith("rsa"):
+            bits = int(alg.split("-")[1])
+            sign, verify = cm.rsa_sign(bits), cm.rsa_verify(bits)
+        else:
+            sign, verify = cm.ecdsa_sign_p256, cm.ecdsa_verify_p256
+        dh = cm.dh_modexp(1536)
+        # R1 sign amortized (precomputed pool) is excluded, as in hipd:
+        # initiator: verify R1 + 2 DH + sign I2 + verify R2
+        # responder: DH + verify I2 + sign R2
+        initiator = verify + 2 * dh + sign + verify
+        responder = dh + verify + sign
+        return initiator + responder
+
+    costs = {alg: bex_cost(alg) for alg in ("rsa-1024", "rsa-2048", "ecdsa-p256")}
+    lines = ["Ablation — base-exchange asymmetric CPU by host-identity algorithm",
+             f"{'algorithm':>12s} | {'BEX asym CPU (ms)':>18s}"]
+    for alg, cost in costs.items():
+        lines.append(f"{alg:>12s} | {cost * 1e3:18.2f}")
+    write_report(report_dir, "ablation_ecc_control_plane", lines)
+
+    # ECC beats RSA-2048 decisively and is competitive with RSA-1024,
+    # with far better security margin — the paper's §IV-B point.
+    assert costs["ecdsa-p256"] < costs["rsa-2048"] * 0.6
+    assert costs["ecdsa-p256"] < costs["rsa-1024"] * 2.0
+    benchmark.pedantic(lambda: bex_cost("ecdsa-p256"), rounds=1, iterations=1)

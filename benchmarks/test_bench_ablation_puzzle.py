@@ -1,0 +1,97 @@
+"""Ablation (§II-B / §IV-B): the puzzle as a DoS-mitigation knob.
+
+"The BEX also includes a computational puzzle that the server can use to
+delay clients when it is under heavy load."  We sweep the difficulty K and
+measure (a) the initiator's solving cost and the resulting BEX latency, and
+(b) the responder-side verification cost, which must stay flat — that
+asymmetry is the whole point.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.crypto.costmodel import CostModel
+from repro.crypto.puzzle import Puzzle, expected_attempts, solve_puzzle
+from repro.hip.daemon import HipConfig, HipDaemon
+from repro.hip.identity import HostIdentity
+from repro.net.addresses import ipv4
+from repro.net.topology import lan_pair
+from repro.sim import Simulator
+
+A, B = ipv4("10.0.0.1"), ipv4("10.0.0.2")
+K_SWEEP = (0, 4, 8, 12, 16)
+
+
+def _bex_latency(ident_a, ident_b, k: int) -> tuple[float, float, float]:
+    """Returns (bex_seconds, solve_cost_seconds, verify_cost_seconds)."""
+    sim = Simulator()
+    a, b = lan_pair(sim, "a", "b")
+    cfg = HipConfig(puzzle_k=k, real_crypto=False)
+    da = HipDaemon(a, ident_a, rng=random.Random(k + 1), config=cfg)
+    db = HipDaemon(b, ident_b, rng=random.Random(k + 2), config=cfg)
+    da.add_peer(db.hit, [B])
+    db.add_peer(da.hit, [A])
+    t0 = sim.now
+    proc = sim.process(da.associate(db.hit, timeout=600.0))
+    sim.run(until=proc)
+    return (
+        sim.now - t0,
+        da.meter.seconds.get("puzzle.solve", 0.0),
+        db.meter.seconds.get("puzzle.verify", 0.0),
+    )
+
+
+@pytest.mark.benchmark(group="ablation-puzzle")
+def test_puzzle_difficulty_sweep(benchmark, bench_mode, report_dir):
+    gen = random.Random(23)
+    ident_a = HostIdentity.generate(gen, "rsa", rsa_bits=bench_mode["rsa_bits"])
+    ident_b = HostIdentity.generate(gen, "rsa", rsa_bits=bench_mode["rsa_bits"])
+
+    def run_all():
+        return {k: _bex_latency(ident_a, ident_b, k) for k in K_SWEEP}
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Ablation — puzzle difficulty K vs BEX latency and per-side cost",
+             f"{'K':>3s} | {'BEX ms':>8s} | {'solve ms':>9s} | {'verify us':>9s} | "
+             f"{'E[attempts]':>11s}"]
+    for k, (bex, solve, verify) in rows.items():
+        lines.append(
+            f"{k:3d} | {bex * 1e3:8.2f} | {solve * 1e3:9.3f} | "
+            f"{verify * 1e6:9.2f} | {expected_attempts(k):11.0f}"
+        )
+    write_report(report_dir, "ablation_puzzle", lines)
+
+    # Initiator cost rises steeply with K...
+    assert rows[16][1] > rows[4][1] * 50
+    # ...BEX latency tracks it...
+    assert rows[16][0] > rows[0][0]
+    # ...while the responder's verification stays a single hash, flat in K.
+    verify_costs = [rows[k][2] for k in K_SWEEP]
+    assert max(verify_costs) < min(verify_costs) * 1.5 + 1e-9
+
+
+@pytest.mark.benchmark(group="ablation-puzzle")
+def test_attacker_work_factor(benchmark, report_dir):
+    """Cost-model view: attacker connection-attempt cost vs responder cost."""
+    cm = CostModel()
+
+    def table():
+        rows = []
+        for k in K_SWEEP:
+            attacker = cm.puzzle_solve_cost(k)
+            responder = cm.puzzle_verify_cost()
+            rows.append((k, attacker, responder, attacker / responder))
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = ["Ablation — modeled attacker/responder cost asymmetry",
+             f"{'K':>3s} | {'attacker s':>12s} | {'responder s':>12s} | {'ratio':>10s}"]
+    for k, att, resp, ratio in rows:
+        lines.append(f"{k:3d} | {att:12.6f} | {resp:12.6f} | {ratio:10.1f}")
+    write_report(report_dir, "ablation_puzzle_asymmetry", lines)
+    assert rows[-1][3] > 10_000  # K=16: four orders of magnitude of asymmetry

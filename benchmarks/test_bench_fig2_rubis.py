@@ -1,0 +1,77 @@
+"""Figure 2: RUBiS throughput vs concurrent clients for Basic / HIP / SSL.
+
+Regenerates the paper's headline plot: closed-loop clients issuing random
+GETs against the load-balanced three-VM web tier (no DB query cache),
+measured as *successful requests per second*.
+
+Shape assertions (the paper's qualitative claims):
+  * Basic has the least overhead: highest curve at moderate/high load.
+  * HIP is comparable to SSL, trending slightly lower (LSI translations).
+  * Basic keeps growing to 50 clients while HIP/SSL flatten out
+    (saturation — "a threshold beyond which the overall performance
+    suffers").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.scenarios.experiments import Fig2Point, run_fig2_point
+
+MODES = ("basic", "hip", "ssl")
+
+
+def _run_sweep(mode: str, cfg: dict) -> list[Fig2Point]:
+    return [
+        run_fig2_point(
+            mode, n_clients=n, duration=cfg["fig2_duration"],
+            warmup=cfg["fig2_warmup"], seed=42,
+        )
+        for n in cfg["fig2_clients"]
+    ]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_throughput_comparison(benchmark, bench_mode, report_dir):
+    results: dict[str, list[Fig2Point]] = {}
+
+    def run_all():
+        for mode in MODES:
+            results[mode] = _run_sweep(mode, bench_mode)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    clients = bench_mode["fig2_clients"]
+    lines = ["Figure 2 — RUBiS throughput (successful req/s) vs concurrent clients",
+             "clients | " + " | ".join(f"{m:>7s}" for m in MODES)]
+    for i, n in enumerate(clients):
+        row = " | ".join(f"{results[m][i].throughput:7.1f}" for m in MODES)
+        lines.append(f"{n:7d} | {row}")
+    lines.append("")
+    lines.append("failures: " + ", ".join(
+        f"{m}={sum(p.failures for p in results[m])}" for m in MODES))
+    write_report(report_dir, "fig2_rubis_throughput", lines)
+
+    basic = results["basic"]
+    hip = results["hip"]
+    ssl = results["ssl"]
+    high_load = range(len(clients))[-2:]  # the two largest client counts
+
+    # Basic wins at high load.
+    for i in high_load:
+        assert basic[i].throughput > hip[i].throughput
+        assert basic[i].throughput > ssl[i].throughput
+    # HIP ~ SSL (within 15%), HIP not above SSL at the top load.
+    top = len(clients) - 1
+    assert hip[top].throughput == pytest.approx(ssl[top].throughput, rel=0.15)
+    assert hip[top].throughput <= ssl[top].throughput * 1.05
+    # Basic still climbing into 50 clients; secured modes flattened:
+    # relative growth over the last step is clearly larger for basic.
+    prev = len(clients) - 2
+    basic_growth = basic[top].throughput / basic[prev].throughput
+    hip_growth = hip[top].throughput / hip[prev].throughput
+    ssl_growth = ssl[top].throughput / ssl[prev].throughput
+    assert basic_growth > hip_growth
+    assert basic_growth > ssl_growth

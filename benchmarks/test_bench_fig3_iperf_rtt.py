@@ -1,0 +1,67 @@
+"""Figure 3: iperf TCP throughput and ICMP RTT for six addressing modes.
+
+Measured between two micro VMs inside the public cloud (which, like EC2 in
+2012, has no native IPv6 — v6 connectivity rides Teredo):
+
+    IPv4, HIT(IPv4), LSI(IPv4), Teredo, HIT(Teredo), LSI(Teredo)
+
+Shape assertions, per the paper's text:
+  * plain IPv4 has the highest throughput;
+  * "LSI translation is slower than with HITs due to some extra processing
+    overhead, while Teredo has the worst latency";
+  * Teredo-based modes pay the userspace encapsulation tax on both axes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.scenarios.experiments import FIG3_MODES, Fig3Point, run_fig3
+
+_results_cache: dict = {}
+
+
+def _results(bench_mode) -> list[Fig3Point]:
+    if "points" not in _results_cache:
+        _results_cache["points"] = run_fig3(
+            modes=FIG3_MODES,
+            transfer_bytes=bench_mode["iperf_bytes"],
+            ping_count=bench_mode["ping_count"],
+            hip_rsa_bits=bench_mode["rsa_bits"],
+            seed=42,
+        )
+    return _results_cache["points"]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_iperf_and_rtt(benchmark, bench_mode, report_dir):
+    points = benchmark.pedantic(
+        lambda: _results(bench_mode), rounds=1, iterations=1
+    )
+    by_mode = {p.mode: p for p in points}
+
+    lines = ["Figure 3 — iperf throughput and ICMP RTT between two cloud VMs",
+             f"{'mode':>12s} | {'Mbit/s':>8s} | {'RTT ms':>7s}"]
+    for p in points:
+        lines.append(f"{p.mode:>12s} | {p.throughput_mbps:8.1f} | {p.rtt_ms:7.3f}")
+    write_report(report_dir, "fig3_iperf_rtt", lines)
+
+    ipv4 = by_mode["ipv4"]
+    hit4, lsi4 = by_mode["hit-ipv4"], by_mode["lsi-ipv4"]
+    teredo = by_mode["teredo"]
+    hit_t, lsi_t = by_mode["hit-teredo"], by_mode["lsi-teredo"]
+
+    # --- throughput axis ---
+    assert ipv4.throughput_mbps > hit4.throughput_mbps > lsi4.throughput_mbps
+    assert lsi4.throughput_mbps > teredo.throughput_mbps
+    assert teredo.throughput_mbps > hit_t.throughput_mbps >= lsi_t.throughput_mbps * 0.95
+    # Teredo modes are far below native (userspace encapsulation).
+    assert teredo.throughput_mbps < ipv4.throughput_mbps * 0.4
+
+    # --- RTT axis ---
+    assert ipv4.rtt_ms < hit4.rtt_ms < lsi4.rtt_ms
+    assert lsi4.rtt_ms < teredo.rtt_ms  # "Teredo has the worst latency"
+    assert teredo.rtt_ms < hit_t.rtt_ms < lsi_t.rtt_ms
+    # The paper's Teredo bar sits around 4-5x the plain-IPv4 RTT.
+    assert teredo.rtt_ms > ipv4.rtt_ms * 2.5

@@ -1,0 +1,58 @@
+"""§V-B response-time table: httperf at 120 req/s, query cache ON.
+
+The paper reports mean response times of 116.4 ms (Basic), 132.2 ms (HIP)
+and 128.3 ms (SSL) for a single web server + database with MySQL query
+caching enabled, under a 120 req/s open-loop load.
+
+Shape assertions: Basic < SSL < HIP, each security gap in the ~3-20 % band,
+and "response times and standard deviations largely comparable".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.scenarios.experiments import HttperfPoint, run_httperf_point
+
+MODES = ("basic", "hip", "ssl")
+PAPER_MS = {"basic": 116.4, "hip": 132.2, "ssl": 128.3}
+
+
+@pytest.mark.benchmark(group="httperf")
+def test_httperf_response_times(benchmark, bench_mode, report_dir):
+    results: dict[str, HttperfPoint] = {}
+
+    def run_all():
+        for mode in MODES:
+            results[mode] = run_httperf_point(
+                mode, rate=120.0, duration=bench_mode["httperf_duration"], seed=42,
+            )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["§V-B — httperf @ 120 req/s, single web server, query cache ON",
+             f"{'mode':>6s} | {'mean ms':>8s} | {'sd ms':>7s} | {'p95 ms':>7s} | "
+             f"{'ok':>5s} | {'fail':>4s} | paper mean"]
+    for mode in MODES:
+        p = results[mode]
+        lines.append(
+            f"{mode:>6s} | {p.mean_ms:8.1f} | {p.stdev_ms:7.1f} | {p.p95_ms:7.1f} | "
+            f"{p.successes:5d} | {p.failures:4d} | {PAPER_MS[mode]:6.1f} ms"
+        )
+    write_report(report_dir, "httperf_response_table", lines)
+
+    basic, hip, ssl = results["basic"], results["hip"], results["ssl"]
+    # Ordering: basic fastest; both secured modes cost extra; HIP does not
+    # beat SSL (the LSI-translation penalty) — allowing for run noise in the
+    # HIP-vs-SSL hairline gap the paper itself calls "largely comparable".
+    assert basic.mean_ms < ssl.mean_ms
+    assert basic.mean_ms < hip.mean_ms
+    assert hip.mean_ms >= ssl.mean_ms * 0.97
+    # Gaps are moderate, as in the paper (HIP +13.6 %, SSL +10.2 % there).
+    assert hip.mean_ms < basic.mean_ms * 1.35
+    assert ssl.mean_ms < basic.mean_ms * 1.30
+    # The open-loop load is sustainable in every mode.
+    for mode in MODES:
+        assert results[mode].failures <= results[mode].successes * 0.02

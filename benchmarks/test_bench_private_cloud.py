@@ -1,0 +1,58 @@
+"""Private-cloud cross-check (§V-A).
+
+The paper repeated the Figure-2 experiment on an OpenNebula 3.0 private
+cloud "in order to cross-check the validity of the results" and found them
+"very much aligned" with the EC2 numbers.  We rerun two representative load
+points on the private provider and assert per-mode alignment with the
+public-cloud run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.scenarios.experiments import run_fig2_point
+
+MODES = ("basic", "hip")
+LOADS = (10, 30)
+
+
+@pytest.mark.benchmark(group="private-cloud")
+def test_private_cloud_alignment(benchmark, bench_mode, report_dir):
+    results: dict = {}
+
+    def run_all():
+        for provider in ("public", "private"):
+            for mode in MODES:
+                for n in LOADS:
+                    results[(provider, mode, n)] = run_fig2_point(
+                        mode, n_clients=n, provider_kind=provider,
+                        duration=bench_mode["fig2_duration"],
+                        warmup=bench_mode["fig2_warmup"], seed=42,
+                    )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Private-cloud cross-check — throughput (req/s), public vs private",
+             f"{'mode':>6s} | {'clients':>7s} | {'public':>8s} | {'private':>8s} | ratio"]
+    for mode in MODES:
+        for n in LOADS:
+            pub = results[("public", mode, n)].throughput
+            prv = results[("private", mode, n)].throughput
+            lines.append(
+                f"{mode:>6s} | {n:7d} | {pub:8.1f} | {prv:8.1f} | {prv / pub:5.2f}"
+            )
+    write_report(report_dir, "private_cloud_crosscheck", lines)
+
+    for mode in MODES:
+        for n in LOADS:
+            pub = results[("public", mode, n)].throughput
+            prv = results[("private", mode, n)].throughput
+            # "Very much aligned": within 20% at every measured point.
+            assert prv == pytest.approx(pub, rel=0.20), (mode, n)
+    # The security ordering also holds inside the private cloud.
+    for n in LOADS:
+        assert (results[("private", "basic", n)].throughput
+                >= results[("private", "hip", n)].throughput * 0.98)

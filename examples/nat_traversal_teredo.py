@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Power users behind NAT: HIP over Teredo into the cloud.
+
+Recreates §IV-D/V-B's secondary deployment target: a developer workstation
+behind a home/office NAT reaches a cloud VM *directly* over HIP, with the
+IPv6 connectivity that HIP's locators need provided by Teredo (native HIP
+NAT traversal was not yet available in 2012, and EC2 had no IPv6).
+
+Topology::
+
+    workstation --- NAT --- internet ---+--- teredo server
+                                        +--- cloud gateway --- [VM]
+
+Run:  python examples/nat_traversal_teredo.py
+"""
+
+import random
+
+from repro.cloud import PublicCloud, Tenant
+from repro.cloud.datacenter import Internet
+from repro.hip import HipDaemon
+from repro.hip.identity import HostIdentity
+from repro.net.addresses import ipv4, prefix
+from repro.net.icmp import IcmpStack, ping
+from repro.net.nat import NatBox
+from repro.net.node import Node
+from repro.net.tcp import TcpStack
+from repro.net.teredo import TeredoClient, TeredoServer
+from repro.net.topology import wire
+from repro.net.udp import UdpStack
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    internet = Internet(sim)
+
+    # --- the cloud side ------------------------------------------------------
+    cloud = PublicCloud(sim)
+    cloud.datacenter.attach_gateway(
+        internet.router, gateway_addr=ipv4("203.0.113.2"),
+        core_addr=ipv4("203.0.113.1"), delay_s=8e-3,
+    )
+    vm = cloud.launch(Tenant("devops"), "t1.micro", name="admin-target")
+
+    # --- public infrastructure -----------------------------------------------
+    teredo_server_node = Node(sim, "teredo-server")
+    internet.attach(teredo_server_node, ipv4("203.0.113.50"), delay_s=4e-3)
+    TeredoServer(teredo_server_node, UdpStack(teredo_server_node))
+
+    # --- the developer behind a NAT --------------------------------------------
+    workstation = Node(sim, "workstation")
+    nat = NatBox(sim, "home-nat", external_addr=ipv4("198.51.100.1"))
+    ws_if, nat_in, _ = wire(sim, workstation, nat,
+                            addr_a=ipv4("192.168.1.10"), delay_s=1e-3)
+    nat_in.add_address(ipv4("192.168.1.1"))
+    nat.mark_inside(nat_in)
+    nat_out, inet_if, _ = wire(sim, nat, internet.router, delay_s=6e-3)
+    nat.set_outside(nat_out)
+    internet.router.routes.add(prefix("198.51.100.0/24"), inet_if)
+    workstation.routes.add(prefix("0.0.0.0/0"), ws_if)
+    nat.routes.add(prefix("192.168.1.0/24"), nat_in)
+    nat.routes.add(prefix("0.0.0.0/0"), nat_out)
+
+    # Teredo on both tunnel endpoints (EC2 has no native IPv6).
+    ws_teredo = TeredoClient(workstation, UdpStack(workstation), ipv4("203.0.113.50"))
+    vm_teredo = TeredoClient(vm, UdpStack(vm), ipv4("203.0.113.50"))
+
+    # HIP identities on both ends.
+    gen = random.Random(3)
+    d_ws = HipDaemon(workstation, HostIdentity.generate(gen, "rsa", rsa_bits=512),
+                     rng=random.Random(1))
+    d_vm = HipDaemon(vm, HostIdentity.generate(gen, "rsa", rsa_bits=512),
+                     rng=random.Random(2))
+
+    icmp_ws, _ = IcmpStack(workstation), IcmpStack(vm)
+    tcp_ws, tcp_vm = TcpStack(workstation), TcpStack(vm)
+    report = {}
+
+    def scenario():
+        ws_addr = yield sim.process(ws_teredo.qualify())
+        vm_addr = yield sim.process(vm_teredo.qualify())
+        report["teredo"] = (str(ws_addr), str(vm_addr))
+        # HIP locators are the Teredo addresses: HIP-over-Teredo.
+        d_ws.add_peer(d_vm.hit, [vm_addr])
+        d_vm.add_peer(d_ws.hit, [ws_addr])
+
+        rtts = yield sim.process(ping(icmp_ws, d_vm.hit, count=5, interval=0.1,
+                                      timeout=10.0))
+        report["hip_rtts_ms"] = [round(r * 1e3, 2) for r in rtts if r]
+
+        # An "SSH session": TCP to the VM's HIT, authenticated by its key.
+        def admin_shell():
+            listener = tcp_vm.listen(22)
+            conn = yield listener.accept()
+            cmd = yield from conn.recv_bytes(6)
+            conn.write(b"uid=0(root) gid=0(root)")
+            report["vm_saw"] = bytes(cmd)
+
+        sim.process(admin_shell())
+        conn = yield sim.process(tcp_ws.open_connection(d_vm.hit, 22))
+        conn.write(b"whoami")
+        reply = yield from conn.recv_bytes(23)
+        report["shell_reply"] = bytes(reply)
+
+    done = sim.process(scenario())
+    sim.run(until=done)
+
+    print("workstation Teredo address:", report["teredo"][0])
+    print("cloud VM Teredo address   :", report["teredo"][1])
+    print("  (the NAT's mapped endpoint is embedded in the address)")
+    print(f"\nping over HIP-over-Teredo : {report['hip_rtts_ms']} ms")
+    print(f"VM received command       : {report['vm_saw']!r}")
+    print(f"workstation received      : {report['shell_reply']!r}")
+    print(f"\nNAT dropped unsolicited inbound packets: {nat.dropped_unsolicited}")
+    print("traffic reached the VM only through the Teredo mapping + HIP/ESP")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Mini Figure-2 run: the full RUBiS deployment under all three security modes.
+
+Builds the paper's Figure-1 architecture (clients -> HAProxy-style load
+balancer -> 3 micro web VMs -> large DB VM) in the EC2-like cloud, runs the
+closed-loop workload at a few concurrency levels for each of basic / HIP /
+SSL, and prints a compact version of Figure 2 plus the §V-B style breakdown.
+
+This is a scaled-down interactive run; the full reproduction lives in
+``benchmarks/test_bench_fig2_rubis.py``.
+
+Run:  python examples/rubis_benchmark.py  (takes a couple of minutes)
+"""
+
+from repro.apps.workload import ClosedLoopClients
+from repro.scenarios.rubis_cloud import FRONTEND_PORT, build_rubis_cloud
+
+CLIENTS = (4, 10, 30)
+MODES = ("basic", "hip", "ssl")
+
+
+def run_point(security: str, n_clients: int) -> tuple[float, float]:
+    dep = build_rubis_cloud(seed=7, security=security, hip_rsa_bits=512)
+    sim = dep.sim
+    workload = ClosedLoopClients(
+        dep.client_node, dep.client_tcp, dep.frontend_addr, FRONTEND_PORT,
+        n_clients=n_clients, rng=dep.rngs.stream("clients"), warmup=1.0,
+    )
+    done = sim.process(workload.run(4.0))
+    result = sim.run(until=done)
+    return result.throughput, result.mean_latency() * 1e3
+
+
+def main() -> None:
+    print("RUBiS on the simulated EC2 — successful requests/second")
+    print(f"{'clients':>8s} | " + " | ".join(f"{m:>7s}" for m in MODES))
+    table = {}
+    for n in CLIENTS:
+        row = []
+        for mode in MODES:
+            thr, lat = run_point(mode, n)
+            table[(mode, n)] = (thr, lat)
+            row.append(f"{thr:7.1f}")
+        print(f"{n:8d} | " + " | ".join(row))
+
+    print("\nmean response time at the top load (ms):")
+    for mode in MODES:
+        thr, lat = table[(mode, CLIENTS[-1])]
+        print(f"  {mode:>6s}: {lat:6.1f} ms")
+
+    basic = table[("basic", CLIENTS[-1])][0]
+    hip = table[("hip", CLIENTS[-1])][0]
+    ssl = table[("ssl", CLIENTS[-1])][0]
+    print(f"\nsecurity cost at {CLIENTS[-1]} clients: "
+          f"HIP {100 * (1 - hip / basic):.0f}% below basic, "
+          f"SSL {100 * (1 - ssl / basic):.0f}% below basic "
+          "(HIP ~ SSL, as the paper observes)")
+
+
+if __name__ == "__main__":
+    main()

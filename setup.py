@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network and an old setuptools without the
+``wheel`` package, so PEP 660 editable installs fail; this shim lets
+``pip install -e .`` take the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,200 @@
+"""Reverse HTTP proxy / load balancer (HAProxy's role in Figure 1).
+
+Consumers speak plain HTTP to the proxy; the proxy forwards each request to
+a backend web server over the scenario's secure transport:
+
+* **basic** — plain TCP;
+* **ssl** — TLS with session resumption on persistent upstream connections;
+* **hip** — plain TCP addressed to the backend's LSI/HIT, which the HIP
+  daemon on the proxy node transparently protects (this is exactly the
+  paper's "reverse proxy terminates HIP" deployment — end users never see
+  HIP).
+
+Balancing is round-robin across backends (the paper's HAProxy config), with
+least-connections available for the ablation.  Upstream connections are
+pooled and persistent, so handshakes amortize as they did in the testbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.apps.http import read_request, read_response, write_request, write_response
+from repro.apps.streams import BufferedReader, PlainStream, StreamClosed, TlsStream
+from repro.net.tcp import TcpError, TcpStack
+from repro.sim.resources import Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.addresses import IPAddress
+    from repro.net.node import Node
+
+PROXY_CPU_PER_REQUEST = 2.0e-4  # header parse + rewrite + scheduling
+PROXY_CPU_PER_BYTE = 4.0e-9  # copy cost
+
+
+@dataclass
+class Backend:
+    """One upstream web server."""
+
+    addr: "IPAddress"
+    port: int
+    use_tls: bool = False
+    active: int = 0  # in-flight requests (for least-connections)
+    served: int = 0
+
+
+@dataclass
+class _Upstream:
+    stream: object
+    reader: BufferedReader
+    backend: Backend
+
+
+@dataclass
+class ProxyStats:
+    requests: int = 0
+    responses: int = 0
+    upstream_errors: int = 0
+    client_errors: int = 0
+
+
+class ReverseProxy:
+    """HTTP reverse proxy with round-robin / least-connections balancing."""
+
+    def __init__(
+        self,
+        node: "Node",
+        tcp: TcpStack,
+        port: int,
+        backends: list[Backend],
+        rng,
+        algorithm: str = "round-robin",
+        max_pool_per_backend: int = 16,
+        backend_keepalive: bool = False,
+    ) -> None:
+        if not backends:
+            raise ValueError("proxy needs at least one backend")
+        if algorithm not in ("round-robin", "least-connections"):
+            raise ValueError(f"unknown balancing algorithm {algorithm!r}")
+        self.node = node
+        self.sim = node.sim
+        self.tcp = tcp
+        self.rng = rng
+        self.backends = backends
+        self.algorithm = algorithm
+        # HAProxy 1.3 (the paper's version) cannot keep backend connections
+        # alive across requests: every forwarded request opens a fresh
+        # upstream TCP connection.  TLS *sessions* still resume across
+        # connections (abbreviated handshakes), as OpenSSL's cache would.
+        self.backend_keepalive = backend_keepalive
+        self.stats = ProxyStats()
+        self._rr = itertools.cycle(range(len(backends)))
+        self._pools: dict[int, Queue] = {id(b): Queue(self.sim) for b in backends}
+        self._pool_sizes: dict[int, int] = {id(b): 0 for b in backends}
+        self._max_pool = max_pool_per_backend
+        self._tls_sessions: dict[int, tuple[bytes, bytes]] = {}
+        self.listener = tcp.listen(port)
+        self.sim.process(self._accept_loop(), name=f"proxy-accept-{node.name}")
+
+    # -- balancing -----------------------------------------------------------------
+    def _pick_backend(self) -> Backend:
+        if self.algorithm == "least-connections":
+            return min(self.backends, key=lambda b: (b.active, b.served))
+        return self.backends[next(self._rr)]
+
+    # -- upstream pool ---------------------------------------------------------------
+    def _acquire_upstream(self, backend: Backend) -> Generator:
+        pool = self._pools[id(backend)]
+        ok, upstream = pool.try_get()
+        if ok:
+            return upstream
+        if self._pool_sizes[id(backend)] < self._max_pool:
+            self._pool_sizes[id(backend)] += 1
+            upstream = yield from self._open_upstream(backend)
+            return upstream
+        upstream = yield pool.get()
+        return upstream
+
+    def _open_upstream(self, backend: Backend) -> Generator:
+        conn = yield self.sim.process(
+            self.tcp.open_connection(backend.addr, backend.port)
+        )
+        if backend.use_tls:
+            from repro.tls.connection import tls_client_handshake
+
+            tls = yield from tls_client_handshake(
+                conn, self.node, self.rng, session=self._tls_sessions.get(id(backend))
+            )
+            self._tls_sessions[id(backend)] = (tls.session_id, tls.master_secret)
+            stream = TlsStream(tls)
+        else:
+            stream = PlainStream(conn)
+        return _Upstream(stream=stream, reader=BufferedReader(stream), backend=backend)
+
+    def _release_upstream(self, upstream: _Upstream, broken: bool) -> None:
+        if broken:
+            upstream.stream.close()
+            self._pool_sizes[id(upstream.backend)] -= 1
+            return
+        self._pools[id(upstream.backend)].try_put(upstream)
+
+    # -- client side -------------------------------------------------------------------
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self.listener.accept()
+            self.sim.process(self._serve_client(conn), name=f"proxy-conn-{self.node.name}")
+
+    def _serve_client(self, conn) -> Generator:
+        stream = PlainStream(conn)
+        reader = BufferedReader(stream)
+        try:
+            while True:
+                request = yield from read_request(reader)
+                self.stats.requests += 1
+                yield from self.node.cpu_work(PROXY_CPU_PER_REQUEST)
+                response = yield from self._forward(request)
+                if response is None:
+                    from repro.apps.http import HttpResponse
+
+                    self.stats.upstream_errors += 1
+                    yield from write_response(
+                        stream, HttpResponse(status=502, reason="Bad Gateway")
+                    )
+                    continue
+                yield from self.node.cpu_work(PROXY_CPU_PER_BYTE * len(response.body))
+                yield from write_response(stream, response)
+                self.stats.responses += 1
+        except (StreamClosed, TcpError):
+            self.stats.client_errors += 1
+            return
+
+    def _forward(self, request) -> Generator:
+        backend = self._pick_backend()
+        backend.active += 1
+        try:
+            if not self.backend_keepalive:
+                try:
+                    upstream = yield from self._open_upstream(backend)
+                    yield from write_request(upstream.stream, request)
+                    response = yield from read_response(upstream.reader)
+                except (StreamClosed, TcpError):
+                    return None
+                upstream.stream.close()
+                backend.served += 1
+                return response
+            for attempt in range(2):  # one retry on a stale pooled connection
+                upstream = yield from self._acquire_upstream(backend)
+                try:
+                    yield from write_request(upstream.stream, request)
+                    response = yield from read_response(upstream.reader)
+                except (StreamClosed, TcpError):
+                    self._release_upstream(upstream, broken=True)
+                    continue
+                self._release_upstream(upstream, broken=False)
+                backend.served += 1
+                return response
+            return None
+        finally:
+            backend.active -= 1

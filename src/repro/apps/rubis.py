@@ -1,0 +1,221 @@
+"""RUBiS-like auction web application (the paper's test service).
+
+RUBiS (Rice University Bidding System) models eBay: browse categories,
+search items, view items/bids/users.  We reproduce its *performance shape* —
+a CPU-light web tier issuing 1-3 database queries per page — with a weighted
+request mix, page sizes and render costs in the ballpark of the PHP
+version's published profiles.
+
+A :class:`RubisWebServer` accepts HTTP (plain or TLS — or transparently over
+HIP when the proxy connects to its LSI/HIT), resolves the request type from
+the path, executes its queries through a pooled database connection, charges
+render CPU, and responds with a page-sized body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.apps.database import DbClient, Query, QueryError
+from repro.apps.http import HttpResponse, read_request, write_response
+from repro.apps.streams import BufferedReader, PlainStream, StreamClosed, TlsStream
+from repro.net.packet import VirtualPayload
+from repro.net.tcp import TcpError, TcpStack
+from repro.sim.resources import Queue, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.addresses import IPAddress
+    from repro.net.node import Node
+    from repro.tls.connection import TlsServerContext
+
+
+@dataclass(frozen=True)
+class RequestType:
+    """One page type: its queries, render cost and page size."""
+
+    name: str
+    path: str
+    weight: float
+    queries: tuple[tuple[str, str, int], ...]  # (kind, table, rows)
+    render_cost: float  # CPU seconds on the reference core
+    page_bytes: int
+    parse_cost: float = 3.0e-4
+
+
+REQUEST_MIX: tuple[RequestType, ...] = (
+    RequestType(
+        name="BrowseCategories", path="/browse", weight=0.14,
+        queries=(("scan", "categories", 20),),
+        render_cost=1.7e-3, page_bytes=20480, parse_cost=5.0e-4,
+    ),
+    RequestType(
+        name="SearchItemsByCategory", path="/search", weight=0.27,
+        queries=(("scan", "items", 25),),
+        render_cost=3.2e-3, page_bytes=40960, parse_cost=5.0e-4,
+    ),
+    RequestType(
+        name="ViewItem", path="/item", weight=0.26,
+        queries=(("pk", "items", 1), ("scan", "bids", 10)),
+        render_cost=2.6e-3, page_bytes=30720, parse_cost=5.0e-4,
+    ),
+    RequestType(
+        name="ViewBidHistory", path="/bids", weight=0.12,
+        queries=(("pk", "items", 1), ("scan", "bids", 20)),
+        render_cost=2.3e-3, page_bytes=35840, parse_cost=5.0e-4,
+    ),
+    RequestType(
+        name="ViewUserInfo", path="/user", weight=0.21,
+        queries=(("pk", "users", 1), ("scan", "comments", 10)),
+        render_cost=2.0e-3, page_bytes=25600, parse_cost=5.0e-4,
+    ),
+)
+
+_BY_PATH = {rt.path: rt for rt in REQUEST_MIX}
+
+
+def pick_request(rng) -> RequestType:
+    """Draw a request type from the weighted mix."""
+    total = sum(rt.weight for rt in REQUEST_MIX)
+    x = rng.random() * total
+    for rt in REQUEST_MIX:
+        x -= rt.weight
+        if x <= 0:
+            return rt
+    return REQUEST_MIX[-1]
+
+
+def request_path(rt: RequestType, rng) -> str:
+    """A concrete URL with a randomized entity key (cache-relevant)."""
+    return f"{rt.path}?id={rng.randrange(10_000)}"
+
+
+@dataclass
+class WebStats:
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    db_time: float = 0.0
+
+
+class RubisWebServer:
+    """One lightweight web VM of the paper's web tier."""
+
+    def __init__(
+        self,
+        node: "Node",
+        tcp: TcpStack,
+        port: int,
+        db_addr: "IPAddress",
+        db_port: int,
+        rng,
+        tls_ctx: "TlsServerContext | None" = None,  # inbound TLS (ssl scenario)
+        db_use_tls: bool = False,  # outbound TLS to the database
+        db_pool_size: int = 4,
+        max_workers: int = 32,
+        pressure_threshold: int = 0,
+        pressure_alpha: float = 0.02,
+    ) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.tcp = tcp
+        self.rng = rng
+        self.tls_ctx = tls_ctx
+        self.stats = WebStats()
+        # Contention model for the 613 MB micro instances: per-request CPU
+        # inflates linearly with concurrent requests (buffer churn, GC,
+        # context switching).  A mode that saturates its web tier sees its
+        # in-flight count — and therefore its effective service time — grow
+        # with offered load, so its *throughput declines* past saturation:
+        # the paper's "threshold beyond which the overall performance
+        # suffers", which only the secured scenarios reach by 50 clients.
+        self.pressure_threshold = pressure_threshold
+        self.pressure_alpha = pressure_alpha
+        self.inflight = 0
+        self._workers = Resource(self.sim, max_workers)
+        # Database connection pool: persistent connections, FIFO checkout.
+        self._db_pool: Queue = Queue(self.sim)
+        for _ in range(db_pool_size):
+            self._db_pool.try_put(
+                DbClient(node, tcp, db_addr, db_port, rng=rng, use_tls=db_use_tls)
+            )
+        self.listener = tcp.listen(port)
+        self.sim.process(self._accept_loop(), name=f"web-accept-{node.name}")
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self.listener.accept()
+            self.sim.process(self._serve_conn(conn), name=f"web-conn-{self.node.name}")
+
+    def _serve_conn(self, conn) -> Generator:
+        if self.tls_ctx is not None:
+            from repro.tls.connection import TlsError, tls_server_handshake
+
+            try:
+                tls = yield from tls_server_handshake(conn, self.node, self.tls_ctx, self.rng)
+            except (TlsError, TcpError):
+                conn.abort()
+                return
+            stream = TlsStream(tls)
+        else:
+            stream = PlainStream(conn)
+        reader = BufferedReader(stream)
+        try:
+            while True:
+                request = yield from read_request(reader)
+                req_slot = self._workers.request()
+                yield req_slot
+                try:
+                    yield from self._handle(stream, request)
+                finally:
+                    self._workers.release(req_slot)
+        except (StreamClosed, TcpError):
+            return
+
+    def _pressure_factor(self) -> float:
+        excess = max(0, self.inflight - self.pressure_threshold)
+        return 1.0 + self.pressure_alpha * excess
+
+    def _handle(self, stream, request) -> Generator:
+        self.stats.requests += 1
+        self.inflight += 1
+        try:
+            yield from self._handle_inner(stream, request)
+        finally:
+            self.inflight -= 1
+
+    def _handle_inner(self, stream, request) -> Generator:
+        path = request.path.partition("?")[0]
+        rt = _BY_PATH.get(path)
+        if rt is None:
+            yield from write_response(stream, HttpResponse(status=404, reason="Not Found"))
+            self.stats.errors += 1
+            return
+        yield from self.node.cpu_work(rt.parse_cost * self._pressure_factor())
+        db = yield self._db_pool.get()
+        t0 = self.sim.now
+        try:
+            for kind, table, rows in rt.queries:
+                key = request.path.partition("=")[2] or "0"
+                yield from db.query(Query(kind=kind, table=table, key=key, rows=rows))
+        except (QueryError, TcpError, StreamClosed):
+            db.close()
+            self._db_pool.try_put(db)
+            self.stats.errors += 1
+            yield from write_response(
+                stream, HttpResponse(status=503, reason="DB Unavailable")
+            )
+            return
+        self._db_pool.try_put(db)
+        self.stats.db_time += self.sim.now - t0
+        # Render times vary (template complexity, row counts): exponential
+        # around the class mean, like the DB's service model.
+        render = self.rng.expovariate(1.0 / rt.render_cost)
+        yield from self.node.cpu_work(render * self._pressure_factor())
+        response = HttpResponse(
+            status=200,
+            headers={"Server": "rubis-sim", "Content-Type": "text/html"},
+            body=VirtualPayload(rt.page_bytes, tag=rt.name),
+        )
+        yield from write_response(stream, response)
+        self.stats.responses += 1

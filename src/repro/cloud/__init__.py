@@ -1,0 +1,27 @@
+"""IaaS cloud substrate: VMs, hypervisors, datacenters, providers, migration.
+
+Models the two environments of the paper's evaluation — an EC2-like public
+cloud (micro web instances, one large database instance, no native IPv6,
+multi-tenant placement) and an OpenNebula-like private cloud — plus VM
+migration over HIP-secured channels with mobility-based connection survival.
+"""
+
+from repro.cloud.datacenter import Datacenter, Internet
+from repro.cloud.hypervisor import PhysicalHost
+from repro.cloud.iaas import PrivateCloud, PublicCloud
+from repro.cloud.migration import migrate_vm
+from repro.cloud.tenant import Tenant
+from repro.cloud.vm import INSTANCE_TYPES, InstanceType, VirtualMachine
+
+__all__ = [
+    "Datacenter",
+    "INSTANCE_TYPES",
+    "InstanceType",
+    "Internet",
+    "PhysicalHost",
+    "PrivateCloud",
+    "PublicCloud",
+    "Tenant",
+    "VirtualMachine",
+    "migrate_vm",
+]

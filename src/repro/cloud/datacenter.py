@@ -1,0 +1,123 @@
+"""Datacenter network topology and the public Internet stub.
+
+The datacenter is a classic two-tier tree (the 2012-era architecture the
+paper's VL2 citations critique): a core router, top-of-rack switches, and
+physical hosts.  Each host owns a /24 guest subnet (``10.<rack>.<host>.0``),
+racks aggregate at ``10.<rack>.0.0/16``.  The core can uplink to an
+:class:`Internet` node, through which consumers, the load balancer and the
+private cloud reach the public cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cloud.hypervisor import PhysicalHost
+from repro.net.addresses import IPAddress, Prefix, ipv4, prefix
+from repro.net.node import Node
+from repro.net.topology import wire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class DatacenterParams:
+    """Topology knobs (defaults are EC2-availability-zone-ish)."""
+
+    n_racks: int = 2
+    hosts_per_rack: int = 4
+    host_uplink_bps: float = 1e9
+    tor_uplink_bps: float = 10e9
+    host_link_delay_s: float = 80e-6
+    tor_link_delay_s: float = 120e-6
+    base_octet: int = 10  # 10.0.0.0/8 base for guest addressing
+
+
+class Datacenter:
+    """One availability zone of physical infrastructure."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        params: DatacenterParams | None = None,
+        availability_zone: str = "zone-a",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.availability_zone = availability_zone
+        self.params = params or DatacenterParams()
+        p = self.params
+        self.core = Node(sim, f"{name}-core", forwarding=True)
+        self.tors: list[Node] = []
+        self.hosts: list[PhysicalHost] = []
+        base = p.base_octet
+        for rack in range(p.n_racks):
+            tor = Node(sim, f"{name}-tor{rack}", forwarding=True)
+            self.tors.append(tor)
+            core_if, tor_up, _ = wire(
+                sim, self.core, tor,
+                bandwidth_bps=p.tor_uplink_bps, delay_s=p.tor_link_delay_s,
+            )
+            rack_prefix = prefix(f"{base}.{rack}.0.0/16")
+            self.core.routes.add(rack_prefix, core_if)
+            tor.routes.add(prefix("0.0.0.0/0"), tor_up)
+            tor.routes.add(prefix("::/0"), tor_up)
+            for h in range(p.hosts_per_rack):
+                subnet = prefix(f"{base}.{rack}.{h + 1}.0/24")
+                host = PhysicalHost(sim, f"{name}-r{rack}h{h}", guest_subnet=subnet)
+                self.hosts.append(host)
+                tor_if, host_up, _ = wire(
+                    sim, tor, host,
+                    bandwidth_bps=p.host_uplink_bps, delay_s=p.host_link_delay_s,
+                )
+                # The host's management address is the guest-subnet gateway
+                # (.1): hypervisor-to-hypervisor traffic (migration, HIP
+                # between hypervisors) is routable immediately.
+                host_up.add_address(IPAddress(4, subnet.network.value + 1))
+                tor.routes.add(subnet, tor_if)
+                host.routes.add(prefix("0.0.0.0/0"), host_up)
+                host.routes.add(prefix("::/0"), host_up)
+
+    def attach_gateway(self, gateway: Node, gateway_addr: IPAddress,
+                       core_addr: IPAddress, bandwidth_bps: float = 10e9,
+                       delay_s: float = 1e-3) -> None:
+        """Uplink the core router to an external gateway (Internet)."""
+        core_if, gw_if, _ = wire(
+            self.sim, self.core, gateway,
+            addr_a=core_addr, addr_b=gateway_addr,
+            bandwidth_bps=bandwidth_bps, delay_s=delay_s,
+        )
+        self.core.routes.add(prefix("0.0.0.0/0"), core_if)
+        self.core.routes.add(prefix("::/0"), core_if)
+        base = self.params.base_octet
+        gateway.routes.add(prefix(f"{base}.0.0.0/8"), gw_if)
+
+
+class Internet:
+    """The public Internet stub: one router with per-attachment delays."""
+
+    def __init__(self, sim: "Simulator", name: str = "internet") -> None:
+        self.sim = sim
+        self.router = Node(sim, name, forwarding=True)
+        self._next_peering = 1
+
+    def attach(
+        self,
+        node: Node,
+        address: IPAddress,
+        delay_s: float = 10e-3,
+        bandwidth_bps: float = 1e9,
+        route_prefix: Prefix | None = None,
+    ):
+        """Connect a node (or a datacenter gateway) with a WAN-grade link."""
+        inet_if, node_if, _ = wire(
+            self.sim, self.router, node,
+            addr_b=address, bandwidth_bps=bandwidth_bps, delay_s=delay_s,
+        )
+        self.router.routes.add(route_prefix or Prefix(address, 32), inet_if)
+        node.routes.add(prefix("0.0.0.0/0"), node_if)
+        node.routes.add(prefix("::/0"), node_if)
+        return node_if

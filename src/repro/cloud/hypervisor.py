@@ -1,0 +1,116 @@
+"""Physical hosts with hypervisors and virtual switches.
+
+A :class:`PhysicalHost` is a forwarding node (its vswitch) that owns a /24
+guest subnet.  Attaching a VM creates a virtio-grade link between the guest
+and the vswitch, assigns the guest an address from the host subnet and
+installs routes both ways.  The host tracks which tenants it serves — the
+multi-tenancy surface the paper worries about — and can carry a HIP-aware
+middlebox firewall (deployment scenario II of §IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.addresses import IPAddress, Prefix, ipv4, prefix
+from repro.net.node import Node
+from repro.net.topology import wire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.vm import VirtualMachine
+    from repro.sim.engine import Simulator
+
+VIRTIO_DELAY_S = 30e-6  # guest <-> vswitch one-way latency
+
+
+class CapacityError(Exception):
+    """Host cannot fit the requested VM."""
+
+
+class PhysicalHost(Node):
+    """One server: hypervisor + vswitch + guest subnet."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        guest_subnet: Prefix,
+        cpu_cores: int = 8,
+        memory_mb: int = 32768,
+    ) -> None:
+        super().__init__(sim, name, cpu_cores=cpu_cores, forwarding=True)
+        if guest_subnet.network.family != 4 or guest_subnet.length > 30:
+            raise ValueError("guest subnet must be an IPv4 prefix with room for guests")
+        self.guest_subnet = guest_subnet
+        self.memory_mb = memory_mb
+        self.memory_used_mb = 0
+        self.vms: list["VirtualMachine"] = []
+        self._attachments: dict[str, tuple] = {}  # vm name -> (addr, host_if, vm_if)
+        self._next_guest = 10  # .10 upward inside the subnet
+
+    # -- placement ------------------------------------------------------------
+    @property
+    def memory_free_mb(self) -> int:
+        return self.memory_mb - self.memory_used_mb
+
+    def fits(self, vm: "VirtualMachine") -> bool:
+        return vm.instance_type.memory_mb <= self.memory_free_mb
+
+    def tenants(self) -> set[str]:
+        return {vm.tenant.name for vm in self.vms}
+
+    # -- attachment -----------------------------------------------------------
+    def alloc_guest_address(self) -> IPAddress:
+        addr = IPAddress(4, self.guest_subnet.network.value + self._next_guest)
+        self._next_guest += 1
+        if not self.guest_subnet.contains(addr):
+            raise CapacityError(f"guest subnet {self.guest_subnet} exhausted on {self.name}")
+        return addr
+
+    def attach_vm(self, vm: "VirtualMachine", address: IPAddress | None = None) -> IPAddress:
+        """Wire the VM to the vswitch; returns the guest address."""
+        if not self.fits(vm):
+            raise CapacityError(
+                f"{self.name} lacks memory for {vm.name} "
+                f"({vm.instance_type.memory_mb} > {self.memory_free_mb} MB)"
+            )
+        if address is None:
+            address = self.alloc_guest_address()
+        vm_iface, host_iface, _link = wire(
+            self.sim, vm, self,
+            addr_a=address,
+            bandwidth_bps=vm.instance_type.nic_bps,
+            delay_s=VIRTIO_DELAY_S,
+            name=f"virtio-{vm.name}",
+        )
+        gateway = IPAddress(4, self.guest_subnet.network.value + 1)
+        if not self.has_address(gateway):
+            host_iface.add_address(gateway)
+        # Guest default route -> vswitch; host /32 route -> guest.
+        vm.routes.add(prefix("0.0.0.0/0"), vm_iface)
+        vm.routes.add(prefix("::/0"), vm_iface)
+        self.routes.add(Prefix(address, 32), host_iface)
+        self.memory_used_mb += vm.instance_type.memory_mb
+        self.vms.append(vm)
+        self._attachments[vm.name] = (address, host_iface, vm_iface)
+        vm.host = self
+        vm.state = "running"
+        return address
+
+    def detach_vm(self, vm: "VirtualMachine") -> None:
+        """Release the VM: routes and addresses are withdrawn so a re-attach
+        elsewhere (migration) leaves no stale forwarding state."""
+        if vm not in self.vms:
+            return
+        self.vms.remove(vm)
+        self.memory_used_mb -= vm.instance_type.memory_mb
+        vm.host = None
+        attachment = self._attachments.pop(vm.name, None)
+        if attachment is None:
+            return
+        address, host_iface, vm_iface = attachment
+        self.routes.remove(Prefix(address, 32), host_iface)
+        vm.routes.remove(prefix("0.0.0.0/0"), vm_iface)
+        vm.routes.remove(prefix("::/0"), vm_iface)
+        if address in vm_iface.addresses:
+            vm_iface.remove_address(address)

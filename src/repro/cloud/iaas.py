@@ -1,0 +1,100 @@
+"""IaaS providers: the EC2-like public cloud and the OpenNebula-like private one.
+
+A provider owns a :class:`~repro.cloud.datacenter.Datacenter`, launches VMs
+with a placement policy, and hands out guest addresses.  The public provider
+matches the paper's environment: micro/large instance types, *no native
+IPv6* (the paper had to use Teredo for v6 connectivity inside EC2), and
+tenant-oblivious packing so different subscribers share hosts.  The private
+provider models the OpenNebula 3.0 cross-check deployment: one organization,
+spread placement, slightly different network parameters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cloud.datacenter import Datacenter, DatacenterParams
+from repro.cloud.tenant import PackPlacement, PlacementPolicy, SpreadPlacement, Tenant
+from repro.cloud.vm import INSTANCE_TYPES, InstanceType, VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.addresses import IPAddress
+    from repro.sim.engine import Simulator
+
+
+class IaasProvider:
+    """Base provider: datacenter + placement + instance lifecycle."""
+
+    native_ipv6 = False
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        params: DatacenterParams | None = None,
+        placement: PlacementPolicy | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.datacenter = Datacenter(sim, name, params=params)
+        self.placement = placement or PackPlacement()
+        self.instances: list[VirtualMachine] = []
+        self._vm_counter = 0
+
+    def launch(
+        self,
+        tenant: Tenant,
+        instance_type: str | InstanceType = "t1.micro",
+        name: str | None = None,
+    ) -> VirtualMachine:
+        """Provision and start a VM; returns it in ``running`` state."""
+        if isinstance(instance_type, str):
+            try:
+                itype = INSTANCE_TYPES[instance_type]
+            except KeyError:
+                raise ValueError(f"unknown instance type {instance_type!r}") from None
+        else:
+            itype = instance_type
+        self._vm_counter += 1
+        vm_name = name or f"{self.name}-vm{self._vm_counter}"
+        vm = VirtualMachine(self.sim, vm_name, itype, tenant)
+        host = self.placement.place(vm, self.datacenter.hosts)
+        host.attach_vm(vm)
+        tenant.vms.append(vm)
+        self.instances.append(vm)
+        return vm
+
+    def terminate(self, vm: VirtualMachine) -> None:
+        if vm.host is not None:
+            vm.host.detach_vm(vm)
+        vm.state = "terminated"
+        if vm in self.instances:
+            self.instances.remove(vm)
+
+    def colocated_tenants(self) -> list[set[str]]:
+        """Tenant sets per host — evidence of multi-tenant co-location."""
+        return [host.tenants() for host in self.datacenter.hosts if host.vms]
+
+
+class PublicCloud(IaasProvider):
+    """EC2-like: multi-tenant, packing placement, IPv4-only (paper's EU zone)."""
+
+    native_ipv6 = False
+
+    def __init__(self, sim: "Simulator", name: str = "ec2-eu-west-1a",
+                 params: DatacenterParams | None = None) -> None:
+        super().__init__(sim, name, params=params, placement=PackPlacement())
+
+
+class PrivateCloud(IaasProvider):
+    """OpenNebula-like: one organization, spread placement, smaller plant."""
+
+    native_ipv6 = False  # matching the paper's IPv4 measurements
+
+    def __init__(self, sim: "Simulator", name: str = "opennebula",
+                 params: DatacenterParams | None = None) -> None:
+        if params is None:
+            # Flatter, smaller plant on a distinct address base so hybrid
+            # scenarios can route between the two clouds unambiguously.
+            params = DatacenterParams(n_racks=1, hosts_per_rack=4, base_octet=172)
+        super().__init__(sim, name, params=params, placement=SpreadPlacement())

@@ -1,0 +1,69 @@
+"""Tenants and placement policies.
+
+Multi-tenancy is the paper's threat model: "the virtual machines of two
+competing companies could be served by the same underlying host machine."
+The public provider's default placement policy is tenant-oblivious packing,
+so co-location arises naturally; tests assert it and the security examples
+demonstrate HIP-protected flows despite a co-located adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.hypervisor import PhysicalHost
+    from repro.cloud.vm import VirtualMachine
+
+
+@dataclass
+class Tenant:
+    """One cloud subscriber."""
+
+    name: str
+    vms: list = field(default_factory=list)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class PlacementPolicy:
+    """Chooses a host for a new VM."""
+
+    def place(self, vm: "VirtualMachine", hosts: list["PhysicalHost"]) -> "PhysicalHost":
+        raise NotImplementedError
+
+
+class PackPlacement(PlacementPolicy):
+    """Fill hosts in order — maximizes co-location (public-cloud default)."""
+
+    def place(self, vm, hosts):
+        for host in hosts:
+            if host.fits(vm):
+                return host
+        from repro.cloud.hypervisor import CapacityError
+
+        raise CapacityError(f"no host can fit {vm.name}")
+
+
+class SpreadPlacement(PlacementPolicy):
+    """Least-loaded host first — what a tenant-isolating operator would do."""
+
+    def place(self, vm, hosts):
+        candidates = [h for h in hosts if h.fits(vm)]
+        if not candidates:
+            from repro.cloud.hypervisor import CapacityError
+
+            raise CapacityError(f"no host can fit {vm.name}")
+        return min(candidates, key=lambda h: (h.memory_used_mb, h.name))
+
+
+class TenantAffinityPlacement(PlacementPolicy):
+    """Prefer hosts already running the tenant's VMs, else least-loaded."""
+
+    def place(self, vm, hosts):
+        own = [h for h in hosts if h.fits(vm) and vm.tenant.name in h.tenants()]
+        if own:
+            return min(own, key=lambda h: (h.memory_used_mb, h.name))
+        return SpreadPlacement().place(vm, hosts)

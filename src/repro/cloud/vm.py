@@ -1,0 +1,78 @@
+"""Virtual machines and instance types.
+
+Instance types mirror the paper's EC2 choices:
+
+* **t1.micro** — "613 MB of memory and up to 2 EC2 compute units" of
+  *burstable* CPU.  Sustained load on a micro gets a fraction of a core, so
+  its ``cpu_scale`` (how much longer work takes than on the reference core)
+  is well above 1.
+* **m1.large** — "7.5 GB of memory and 4 EC2 compute units" over two cores.
+
+A :class:`VirtualMachine` is a network :class:`~repro.net.node.Node` whose
+CPU model comes from its instance type; the hypervisor wires its virtio NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.net.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.hypervisor import PhysicalHost
+    from repro.cloud.tenant import Tenant
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Resource envelope of a VM flavour."""
+
+    name: str
+    cpu_cores: int
+    cpu_scale: float  # work duration multiplier vs the reference core
+    memory_mb: int
+    nic_bps: float  # virtio NIC rate
+
+
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    "t1.micro": InstanceType("t1.micro", cpu_cores=1, cpu_scale=2.5,
+                             memory_mb=613, nic_bps=150e6),
+    "m1.small": InstanceType("m1.small", cpu_cores=1, cpu_scale=1.6,
+                             memory_mb=1740, nic_bps=400e6),
+    "m1.large": InstanceType("m1.large", cpu_cores=2, cpu_scale=0.9,
+                             memory_mb=7680, nic_bps=700e6),
+    "c1.xlarge": InstanceType("c1.xlarge", cpu_cores=8, cpu_scale=0.8,
+                              memory_mb=7168, nic_bps=1000e6),
+}
+
+
+class VirtualMachine(Node):
+    """A guest: a node with the instance type's CPU model."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        instance_type: InstanceType,
+        tenant: "Tenant",
+    ) -> None:
+        super().__init__(
+            sim, name, cpu_cores=instance_type.cpu_cores,
+            cpu_scale=instance_type.cpu_scale,
+        )
+        self.instance_type = instance_type
+        self.tenant = tenant
+        self.host: "PhysicalHost | None" = None
+        self.state = "pending"  # pending -> running -> terminated / migrating
+
+    @property
+    def primary_address(self):
+        for iface in self.interfaces:
+            if iface.name.startswith("eth") and iface.addresses:
+                return iface.addresses[0]
+        raise RuntimeError(f"VM {self.name} has no primary address yet")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VM {self.name} ({self.instance_type.name}) {self.state}>"

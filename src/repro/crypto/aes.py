@@ -1,0 +1,180 @@
+"""AES block cipher (FIPS-197), pure Python.
+
+Supports 128/192/256-bit keys.  The S-box is derived at import time from the
+GF(2^8) multiplicative inverse plus the affine transform rather than being
+transcribed, so a typo cannot silently corrupt the cipher; known-answer tests
+in ``tests/crypto`` pin the FIPS-197 vectors.
+
+This is the shared symmetric engine for both the HIP/ESP data plane and the
+TLS record layer — deliberately so, because the paper's core performance
+argument is that the two protocols use the same algorithms.
+"""
+
+from __future__ import annotations
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial 0x11B."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook, used to build tables)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverse table via exhaustive search (256 entries, import-time only).
+    inv = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = bytearray(256)
+    for x in range(256):
+        b = inv[x]
+        # Affine transform: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63
+        res = b
+        for shift in (1, 2, 3, 4):
+            res ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[x] = res ^ 0x63
+    inv_sbox = bytearray(256)
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+# Precomputed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(_gf_mul(x, 3) for x in range(256))
+_MUL9 = bytes(_gf_mul(x, 9) for x in range(256))
+_MUL11 = bytes(_gf_mul(x, 11) for x in range(256))
+_MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
+_MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
+
+BLOCK_SIZE = 16
+
+
+class AES:
+    """AES block cipher instance bound to one key.
+
+    Use through :mod:`repro.crypto.modes` (CBC/CTR) for anything longer than
+    one block.
+    """
+
+    __slots__ = ("key", "rounds", "_round_keys")
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into 16-byte round keys (flattened per round).
+        round_keys = []
+        for r in range(self.rounds + 1):
+            rk = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # State layout: flat list of 16 bytes, column-major as in FIPS-197
+    # (state[4*c + r] is row r, column c).
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        s = [block[i] ^ rk[0][i] for i in range(16)]
+        for rnd in range(1, self.rounds):
+            s = self._round(s, rk[rnd])
+        # Final round: no MixColumns.
+        s = [SBOX[b] for b in s]
+        s = self._shift_rows(s)
+        return bytes(s[i] ^ rk[self.rounds][i] for i in range(16))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        s = [block[i] ^ rk[self.rounds][i] for i in range(16)]
+        s = self._inv_shift_rows(s)
+        s = [INV_SBOX[b] for b in s]
+        for rnd in range(self.rounds - 1, 0, -1):
+            s = [s[i] ^ rk[rnd][i] for i in range(16)]
+            s = self._inv_mix_columns(s)
+            s = self._inv_shift_rows(s)
+            s = [INV_SBOX[b] for b in s]
+        return bytes(s[i] ^ rk[0][i] for i in range(16))
+
+    # -- round building blocks -------------------------------------------------
+    @staticmethod
+    def _shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    def _round(self, s: list[int], rk: list[int]) -> list[int]:
+        s = [SBOX[b] for b in s]
+        s = self._shift_rows(s)
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            out[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return [out[i] ^ rk[i] for i in range(16)]
+
+    @staticmethod
+    def _inv_mix_columns(s: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            out[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out

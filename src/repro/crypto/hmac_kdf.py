@@ -1,0 +1,79 @@
+"""HMAC (RFC 2104) and HKDF-style key derivation (RFC 5869) over our SHA.
+
+HIP derives its ESP keys from the Diffie-Hellman secret via a KEYMAT
+expansion (RFC 5201 §6.5) which is structurally HKDF-expand; TLS 1.2 uses a
+P_hash PRF which is also provided here so both protocol stacks share one
+audited primitive set.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha import BLOCK_SIZES, HASHES
+
+
+def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """HMAC per RFC 2104."""
+    try:
+        hash_fn = HASHES[hash_name]
+        block = BLOCK_SIZES[hash_name]
+    except KeyError:
+        raise ValueError(f"unknown hash {hash_name!r}") from None
+    if len(key) > block:
+        key = hash_fn(key)
+    key = key.ljust(block, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    return hash_fn(opad + hash_fn(ipad + message))
+
+
+def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM)."""
+    return hmac_digest(salt, ikm, hash_name)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int, hash_name: str = "sha256") -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keying material."""
+    digest_len = len(hmac_digest(b"", b"", hash_name))
+    if length > 255 * digest_len:
+        raise ValueError("requested keying material too long")
+    okm = b""
+    t = b""
+    counter = 1
+    while len(okm) < length:
+        t = hmac_digest(prk, t + info + bytes([counter]), hash_name)
+        okm += t
+        counter += 1
+    return okm[:length]
+
+
+def hip_keymat(dh_secret: bytes, hit_i: bytes, hit_r: bytes, length: int) -> bytes:
+    """HIP KEYMAT generation (RFC 5201 §6.5).
+
+    KEYMAT = K1 | K2 | ... where K1 = hash(Kij | sort(HIT-I, HIT-R) | 0x01)
+    and Ki = hash(Kij | Ki-1 | i).  The sort uses the numeric HIT order so
+    initiator and responder derive identical material.
+    """
+    lo, hi = sorted((hit_i, hit_r))
+    hash_fn = HASHES["sha256"]
+    out = b""
+    prev = b""
+    counter = 1
+    while len(out) < length:
+        if counter == 1:
+            prev = hash_fn(dh_secret + lo + hi + bytes([counter]))
+        else:
+            prev = hash_fn(dh_secret + prev + bytes([counter & 0xFF]))
+        out += prev
+        counter += 1
+    return out[:length]
+
+
+def tls_prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """TLS 1.2 PRF (RFC 5246 §5): P_SHA256(secret, label + seed)."""
+    full_seed = label + seed
+    out = b""
+    a = full_seed
+    while len(out) < length:
+        a = hmac_digest(secret, a)
+        out += hmac_digest(secret, a + full_seed)
+    return out[:length]

@@ -1,0 +1,81 @@
+"""Block-cipher modes of operation: CBC and CTR, plus PKCS#7 padding.
+
+CBC + HMAC is the classic ESP transform (and the TLS 1.2 CBC suites); CTR is
+provided for completeness and for the virtual-payload fast path (keystream
+generation cost without ciphertext storage).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding (always adds at least one byte)."""
+    if not 0 < block_size < 256:
+        raise ValueError("block size must be in 1..255")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding; raises ValueError on malformed input."""
+    if not data or len(data) % block_size:
+        raise ValueError("ciphertext length is not a multiple of the block size")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise ValueError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def _xor_block(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC-encrypt ``plaintext`` (PKCS#7 padded internally)."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = _xor_block(padded[i : i + BLOCK_SIZE], prev)
+        prev = cipher.encrypt_block(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes) -> bytes:
+    """CBC-decrypt and strip PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext length is not a multiple of the block size")
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        out += _xor_block(cipher.decrypt_block(block), prev)
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_keystream_xor(cipher: AES, nonce: bytes, data: bytes, counter0: int = 0) -> bytes:
+    """CTR mode: XOR ``data`` with the AES-CTR keystream.
+
+    ``nonce`` is the first 8 bytes of the counter block; the remaining 8
+    bytes are a big-endian block counter starting at ``counter0``.  Encryption
+    and decryption are the same operation.
+    """
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    out = bytearray()
+    counter = counter0
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = cipher.encrypt_block(nonce + counter.to_bytes(8, "big"))
+        chunk = data[i : i + BLOCK_SIZE]
+        out += _xor_block(chunk, block[: len(chunk)])
+        counter += 1
+    return bytes(out)

@@ -1,0 +1,114 @@
+"""Number-theoretic primitives: gcd, modular inverse, primality, prime search.
+
+All asymmetric algorithms in this package (RSA, classic DH, ECDSA) sit on
+these few functions.  Primality testing uses deterministic small-prime trial
+division followed by Miller–Rabin with enough rounds for a < 2^-128 error
+bound on random candidates.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Primes below 1000 for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES: tuple[int, ...] = tuple(
+    p
+    for p in range(2, 1000)
+    if all(p % q for q in range(2, int(p**0.5) + 1))
+)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y == g == gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` mod ``m``; raises ValueError if not coprime."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test with trial division prefilter."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # n - 1 = d * 2^s with d odd
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    rng = rng or random
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Random prime of exactly ``bits`` bits (top two bits set, odd).
+
+    Setting the top two bits guarantees the product of two such primes has
+    exactly ``2*bits`` bits, which RSA key generation relies on.
+    """
+    if bits < 8:
+        raise ValueError("prime size too small to be meaningful")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: random.Random) -> int:
+    """Random safe prime p (p and (p-1)/2 both prime).  Slow; small bits only."""
+    while True:
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Chinese remainder for two coprime moduli: x ≡ r1 (m1), x ≡ r2 (m2)."""
+    g, x, _ = egcd(m1, m2)
+    if g != 1:
+        raise ValueError("moduli not coprime")
+    return (r1 + (r2 - r1) * x % m2 * m1) % (m1 * m2)
+
+
+def int_to_bytes(n: int, length: int | None = None) -> bytes:
+    """Big-endian byte encoding; minimal length unless ``length`` given."""
+    if n < 0:
+        raise ValueError("negative integers are not encodable")
+    if length is None:
+        length = max(1, (n.bit_length() + 7) // 8)
+    return n.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    return int.from_bytes(data, "big")

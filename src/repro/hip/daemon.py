@@ -1,0 +1,932 @@
+"""The HIP daemon: base exchange, data-path interception, mobility, teardown.
+
+One :class:`HipDaemon` runs per host (VM, proxy, power-user workstation).
+It mirrors HIPL's architecture:
+
+* a virtual ``hip0`` interface owns the host's HIT and LSI, so unmodified
+  applications can open TCP/UDP/ICMP flows to HIT or LSI destinations;
+* an *output shim* intercepts those flows before routing.  If no association
+  exists with the peer, packets are queued and a base exchange (RFC 5201)
+  runs: ``I1 → R1(puzzle, DH, HI, sig) → I2(solution, DH, HMAC, sig) →
+  R2(ESP info, HMAC, sig)``;
+* established associations protect traffic with BEET-mode ESP
+  (:mod:`repro.hip.esp`), translating HIT/LSI inner addressing to routable
+  locators on the outside;
+* UPDATE packets implement locator handoff with the RFC 5206 nonce-echo
+  address verification (used by the VM-migration example);
+* CLOSE/CLOSE_ACK tears associations down.
+
+All asymmetric operations really sign/verify packet bytes, and every
+operation charges calibrated CPU time through the node's cost model, so both
+correctness and performance shape are first-class.
+
+Responder statelessness: R1 packets are precomputed and signed off the
+critical path (HIPL keeps an R1 pool), and no per-peer state is created
+until a valid I2 arrives — HIP's DoS posture, which the puzzle ablation
+benchmark exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.crypto.costmodel import CryptoMeter
+from repro.crypto.dh import DHKeyPair, MODP_GROUPS
+from repro.crypto.hmac_kdf import hip_keymat, hmac_digest
+from repro.crypto.puzzle import Puzzle, solve_puzzle, verify_solution
+from repro.hip import packets as hp
+from repro.hip.esp import (
+    EspCiphertext,
+    EspError,
+    EspMode,
+    SecurityAssociation,
+    derive_sa_pair,
+)
+from repro.hip.identity import (
+    HostIdentity,
+    LsiAllocator,
+    asym_cost_for_host_id,
+    hit_from_public_key,
+    verify_with_host_id,
+)
+from repro.net.addresses import IPAddress, is_hit, is_lsi
+from repro.net.packet import ESPHeader, HIPHeader, IPHeader, Packet
+from repro.sim.resources import Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hip.firewall import HipFirewall
+    from repro.net.node import Node
+
+# KEYMAT layout: HIP HMAC keys (2 x 20) then ESP keys (2 x 36).
+_HIP_KEY_BYTES = 40
+_ESP_KEY_BYTES = 72
+KEYMAT_BYTES = _HIP_KEY_BYTES + _ESP_KEY_BYTES
+
+I1_RETRIES = 4
+I2_RETRIES = 4
+RETRY_BASE_S = 0.5
+
+
+class HipError(Exception):
+    """Association failure (timeout, verification failure, policy deny)."""
+
+
+@dataclass
+class HipConfig:
+    """Daemon tunables."""
+
+    esp_mode: EspMode = EspMode.BEET
+    esp_encrypt: bool = True  # confidentiality on (vs auth-only ESP)
+    real_crypto: bool = True  # actually encrypt real-byte payloads
+    puzzle_k: int = 8  # difficulty served in R1
+    dh_group: int = 1  # MODP group id (1 = fast 768-bit test group)
+    charge_costs: bool = True  # charge simulated CPU for crypto work
+    queue_limit: int = 64  # packets queued per pending association
+
+
+@dataclass
+class Association:
+    """State for one HIP association (keyed by peer HIT)."""
+
+    peer_hit: IPAddress
+    role: str  # "initiator" | "responder"
+    state: str = "UNASSOCIATED"
+    peer_locator: IPAddress | None = None
+    peer_host_id: bytes = b""
+    dh: DHKeyPair | None = None
+    keymat: bytes = b""
+    hmac_key_out: bytes = b""
+    hmac_key_in: bytes = b""
+    sa_out: SecurityAssociation | None = None
+    sa_in: SecurityAssociation | None = None
+    queued: list[tuple[Packet, str]] = field(default_factory=list)
+    established_evt: object = None  # sim Event
+    update_id: int = 0
+    pending_update: dict | None = None
+    retries: int = 0
+    created_at: float = 0.0
+    established_at: float = 0.0
+    rekey_count: int = 0
+    pending_rekey: dict | None = None
+
+    @property
+    def is_established(self) -> bool:
+        return self.state == "ESTABLISHED"
+
+
+class HipDaemon:
+    """Per-host HIP engine."""
+
+    def __init__(
+        self,
+        node: "Node",
+        identity: HostIdentity,
+        rng: random.Random,
+        config: HipConfig | None = None,
+        firewall: "HipFirewall | None" = None,
+    ) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.identity = identity
+        self.rng = rng
+        self.config = config or HipConfig()
+        self.firewall = firewall
+        self.meter = CryptoMeter()
+        self.lsi = LsiAllocator()
+
+        self.hit = identity.hit
+        iface = node.add_interface("hip0")
+        iface.add_address(self.hit)
+        iface.add_address(self.lsi.own_lsi)
+        # Route the HIP namespaces at hip0 so source selection picks the
+        # host's HIT/LSI for HIP-addressed flows; the output shim intercepts
+        # the packets before they would be emitted on the (linkless) iface.
+        from repro.net.addresses import LSI_PREFIX, ORCHID_PREFIX
+
+        node.routes.add(ORCHID_PREFIX, iface)
+        node.routes.add(LSI_PREFIX, iface)
+
+        # peer HIT -> known locators (static hosts file / DNS / RVS).
+        self.hosts: dict[IPAddress, list[IPAddress]] = {}
+        self.assocs: dict[IPAddress, Association] = {}
+        self._spi_counter = rng.randrange(0x1000, 0xFFFF)
+        self._sa_in_by_spi: dict[int, Association] = {}
+
+        node.add_output_shim(self._output_shim)
+        node.register_protocol("hip", self._on_hip_packet)
+        node.register_protocol("esp", self._on_esp_packet)
+
+        self._tx = Queue(self.sim)
+        self._rx = Queue(self.sim)
+        self._ctl = Queue(self.sim)
+        self.sim.process(self._tx_worker(), name=f"hipd-tx-{node.name}")
+        self.sim.process(self._rx_worker(), name=f"hipd-rx-{node.name}")
+        self.sim.process(self._ctl_worker(), name=f"hipd-ctl-{node.name}")
+
+        # Precompute the signed R1 (off the hot path, like HIPL's R1 pool).
+        self._responder_dh = DHKeyPair.generate(MODP_GROUPS[self.config.dh_group], rng)
+        self._puzzle = Puzzle.fresh(self.config.puzzle_k, rng)
+        self._r1_template = self._build_r1_template()
+
+        self.data_packets_sent = 0
+        self.data_packets_received = 0
+        self.drops_no_mapping = 0
+        self.drops_policy = 0
+        self.drops_esp = 0
+        self.bex_completed = 0
+
+    # ------------------------------------------------------------------ peers --
+    def add_peer(self, peer_hit: IPAddress, locators: list[IPAddress]) -> IPAddress:
+        """Register peer HIT -> locator mapping; returns the local LSI for it."""
+        if not is_hit(peer_hit):
+            raise ValueError(f"{peer_hit} is not a HIT")
+        self.hosts[peer_hit] = list(locators)
+        return self.lsi.assign(peer_hit)
+
+    def lsi_for_peer(self, peer_hit: IPAddress) -> IPAddress:
+        return self.lsi.assign(peer_hit)
+
+    def associate(self, peer_hit: IPAddress, timeout: float = 30.0) -> Generator:
+        """Process-generator: ensure an ESTABLISHED association with the peer."""
+        assoc = self._ensure_assoc(peer_hit)
+        if assoc.is_established:
+            return assoc
+        if assoc.state in ("FAILED", "CLOSED"):
+            assoc = self._restart_assoc(peer_hit)
+        if assoc.state == "UNASSOCIATED":
+            self._start_bex(assoc)
+        from repro.sim.events import AnyOf
+
+        deadline = self.sim.timeout(timeout)
+        winner, value = yield AnyOf(self.sim, [assoc.established_evt, deadline])
+        if winner is deadline:
+            raise HipError(f"association with {peer_hit} timed out")
+        return value
+
+    def close(self, peer_hit: IPAddress) -> None:
+        """Tear down the association (CLOSE / CLOSE_ACK)."""
+        assoc = self.assocs.get(peer_hit)
+        if assoc is None or not assoc.is_established:
+            return
+        pkt = self._new_packet(hp.CLOSE, peer_hit)
+        nonce = self.rng.getrandbits(64).to_bytes(8, "big")
+        pkt.add(hp.ECHO_REQUEST_SIGNED, nonce)
+        self._finalize_and_send(pkt, assoc, sign=True)
+        assoc.state = "CLOSING"
+
+    # --------------------------------------------------------------- data path --
+    def _output_shim(self, node: "Node", packet: Packet) -> Packet | None:
+        ip = packet.outer
+        if not isinstance(ip, IPHeader):
+            return packet
+        if is_lsi(ip.dst) and ip.dst != self.lsi.own_lsi:
+            peer_hit = self.lsi.hit_for(ip.dst)
+            if peer_hit is None:
+                self.drops_no_mapping += 1
+                return None
+            self._tx.try_put((peer_hit, packet, "lsi"))
+            return None
+        if is_hit(ip.dst) and ip.dst != self.hit:
+            self._tx.try_put((ip.dst, packet, "hit"))
+            return None
+        return packet
+
+    def _tx_worker(self) -> Generator:
+        while True:
+            peer_hit, packet, kind = yield self._tx.get()
+            assoc = self._ensure_assoc(peer_hit)
+            if not assoc.is_established:
+                if assoc.state in ("FAILED", "CLOSED"):
+                    assoc = self._restart_assoc(peer_hit)
+                if len(assoc.queued) < self.config.queue_limit:
+                    assoc.queued.append((packet, kind))
+                if assoc.state == "UNASSOCIATED":
+                    self._start_bex(assoc)
+                continue
+            yield from self._protect_and_send(assoc, packet, kind)
+
+    def _protect_and_send(self, assoc: Association, packet: Packet, kind: str) -> Generator:
+        cm = self.node.cost_model
+        if self.config.charge_costs:
+            translate = cm.lsi_translation if kind == "lsi" else cm.hit_translation
+            payload_bytes = packet.size_bytes
+            cost = translate + cm.esp_encrypt_cost(payload_bytes)
+            self.meter.charge(f"esp.encrypt.{kind}", cost)
+            yield from self.node.cpu_work(cost)
+        assert assoc.sa_out is not None and assoc.peer_locator is not None
+        esp_header, ciphertext = assoc.sa_out.protect(packet)
+        wire = Packet(headers=(esp_header,), payload=ciphertext).with_meta(addr_kind=kind)
+        self.data_packets_sent += 1
+        self.node.send_ip(assoc.peer_locator, "esp", wire)
+
+    def _on_esp_packet(self, node: "Node", packet: Packet, iface) -> None:
+        self._rx.try_put(packet)
+
+    def _rx_worker(self) -> Generator:
+        while True:
+            packet = yield self._rx.get()
+            ip, rest = packet.popped()
+            esp_header, body = rest.popped()
+            assert isinstance(esp_header, ESPHeader)
+            assoc = self._sa_in_by_spi.get(esp_header.spi)
+            if assoc is None or assoc.sa_in is None:
+                self.drops_esp += 1
+                continue
+            payload = body.payload
+            if not isinstance(payload, EspCiphertext):
+                self.drops_esp += 1
+                continue
+            kind = packet.meta.get("addr_kind", "hit")
+            cm = self.node.cost_model
+            if self.config.charge_costs:
+                translate = cm.lsi_translation if kind == "lsi" else cm.hit_translation
+                cost = translate + cm.esp_decrypt_cost(len(payload.inner))
+                self.meter.charge(f"esp.decrypt.{kind}", cost)
+                yield from self.node.cpu_work(cost)
+            try:
+                inner = assoc.sa_in.verify(esp_header, payload)
+            except EspError:
+                self.drops_esp += 1
+                continue
+            delivered = self._rebuild_inner(inner, assoc, kind)
+            self.data_packets_received += 1
+            self.node._on_receive(delivered, None)
+
+    def _rebuild_inner(self, inner: Packet, assoc: Association, kind: str) -> Packet:
+        """Reconstruct the inner IP header with *this host's* HIT/LSI view.
+
+        In BEET mode the inner IP header never crosses the wire; each end
+        regenerates it from the SPI-bound HIT pair.  LSIs are host-local, so
+        the receiver maps the peer's HIT to its *own* LSI allocation.
+        """
+        if inner.headers and isinstance(inner.outer, IPHeader):
+            old_ip, transport = inner.popped()
+        else:
+            transport = inner
+        if kind == "lsi":
+            src = self.lsi.assign(assoc.peer_hit)
+            dst = self.lsi.own_lsi
+        else:
+            src = assoc.peer_hit
+            dst = self.hit
+        return transport.pushed(IPHeader(src=src, dst=dst, proto=self._inner_proto(transport)))
+
+    @staticmethod
+    def _inner_proto(transport: Packet) -> str:
+        from repro.net.packet import ICMPHeader, TCPHeader, UDPHeader
+
+        head = transport.headers[0] if transport.headers else None
+        if isinstance(head, TCPHeader):
+            return "tcp"
+        if isinstance(head, UDPHeader):
+            return "udp"
+        if isinstance(head, ICMPHeader):
+            return "icmp"
+        return "raw"
+
+    # ------------------------------------------------------------ associations --
+    def _ensure_assoc(self, peer_hit: IPAddress) -> Association:
+        assoc = self.assocs.get(peer_hit)
+        if assoc is None:
+            assoc = Association(
+                peer_hit=peer_hit, role="initiator", created_at=self.sim.now,
+                established_evt=self.sim.event(),
+            )
+            self.assocs[peer_hit] = assoc
+        return assoc
+
+    def _restart_assoc(self, peer_hit: IPAddress) -> Association:
+        self.assocs.pop(peer_hit, None)
+        return self._ensure_assoc(peer_hit)
+
+    def _locator_for(self, peer_hit: IPAddress) -> IPAddress | None:
+        locators = self.hosts.get(peer_hit)
+        return locators[0] if locators else None
+
+    # ------------------------------------------------------------- BEX, initiator --
+    def _start_bex(self, assoc: Association) -> None:
+        locator = self._locator_for(assoc.peer_hit)
+        if locator is None:
+            assoc.state = "FAILED"
+            self._fail_assoc(assoc, HipError(f"no locator known for {assoc.peer_hit}"))
+            return
+        if self.firewall is not None and not self.firewall.allow_outbound(assoc.peer_hit):
+            self.drops_policy += 1
+            self._fail_assoc(assoc, HipError("outbound HIP policy denies peer"))
+            return
+        assoc.peer_locator = locator
+        assoc.state = "I1-SENT"
+        assoc.retries = 0
+        self._send_i1(assoc)
+        self.sim.process(self._i1_retransmitter(assoc), name="hip-i1-rtx")
+
+    def _send_i1(self, assoc: Association) -> None:
+        i1 = self._new_packet(hp.I1, assoc.peer_hit)
+        self._send_control(i1, assoc.peer_locator)
+
+    def _i1_retransmitter(self, assoc: Association) -> Generator:
+        while assoc.state == "I1-SENT":
+            yield self.sim.timeout(RETRY_BASE_S * (2**assoc.retries))
+            if assoc.state != "I1-SENT":
+                return
+            assoc.retries += 1
+            if assoc.retries > I1_RETRIES:
+                self._fail_assoc(assoc, HipError("I1 retransmissions exhausted"))
+                return
+            self._send_i1(assoc)
+
+    def _i2_retransmitter(self, assoc: Association, i2: hp.HipPacket) -> Generator:
+        retries = 0
+        while assoc.state == "I2-SENT":
+            yield self.sim.timeout(RETRY_BASE_S * (2**retries))
+            if assoc.state != "I2-SENT":
+                return
+            retries += 1
+            if retries > I2_RETRIES:
+                self._fail_assoc(assoc, HipError("I2 retransmissions exhausted"))
+                return
+            self._send_control(i2, assoc.peer_locator)
+
+    def _fail_assoc(self, assoc: Association, error: Exception) -> None:
+        assoc.state = "FAILED"
+        assoc.queued.clear()
+        evt = assoc.established_evt
+        if evt is not None and not evt.triggered:  # type: ignore[attr-defined]
+            evt.fail(error)  # type: ignore[attr-defined]
+
+    # -------------------------------------------------------------- BEX, responder --
+    def _build_r1_template(self) -> hp.HipPacket:
+        """Precompute the signed R1 (receiver HIT filled per-I1 with NULL rules).
+
+        RFC 5201 signs R1 with a zeroed receiver HIT precisely so it can be
+        precomputed; we follow that: the signature covers the packet with
+        receiver HIT = 0, and initiators verify accordingly.
+        """
+        r1 = hp.HipPacket(
+            packet_type=hp.R1, sender_hit=self.hit, receiver_hit=IPAddress(6, 0),
+        )
+        r1.add(hp.PUZZLE, hp.build_puzzle(self._puzzle.k, 6, 0, self._puzzle.i))
+        r1.add(
+            hp.DIFFIE_HELLMAN,
+            hp.build_dh(self.config.dh_group, self._responder_dh.public_bytes()),
+        )
+        r1.add(hp.HIP_TRANSFORM, hp.build_transform([hp.SUITE_AES_CBC_HMAC_SHA1]))
+        r1.add(hp.HOST_ID, hp.build_host_id(self.identity.public_key_bytes))
+        signature = self.identity.sign(r1.bytes_for_param(hp.HIP_SIGNATURE), self.rng)
+        r1.add(hp.HIP_SIGNATURE, signature)
+        # Charged once, off the hot path (R1 pool generation).
+        self.meter.charge(
+            "asym.sign.r1",
+            asym_cost_for_host_id(self.identity.public_key_bytes, "sign", self.node.cost_model),
+        )
+        return r1
+
+    # ---------------------------------------------------------------- control plane --
+    def _new_packet(self, ptype: int, peer_hit: IPAddress) -> hp.HipPacket:
+        return hp.HipPacket(packet_type=ptype, sender_hit=self.hit, receiver_hit=peer_hit)
+
+    def _send_control(self, packet: hp.HipPacket, locator: IPAddress | None) -> None:
+        if locator is None:
+            return
+        raw = packet.serialize()
+        wire = Packet(headers=(HIPHeader(packet_type=packet.type_name),), payload=raw[40:])
+        wire = wire.with_meta(hip_raw=raw)
+        self.node.send_ip(locator, "hip", wire)
+
+    def _on_hip_packet(self, node: "Node", packet: Packet, iface) -> None:
+        self._ctl.try_put(packet)
+
+    def _ctl_worker(self) -> Generator:
+        while True:
+            packet = yield self._ctl.get()
+            ip, _rest = packet.popped()
+            raw = packet.meta.get("hip_raw")
+            if raw is None:
+                continue
+            try:
+                hip_pkt = hp.HipPacket.parse(raw)
+            except hp.HipParseError:
+                continue
+            assert isinstance(ip, IPHeader)
+            handler = {
+                hp.I1: self._handle_i1,
+                hp.R1: self._handle_r1,
+                hp.I2: self._handle_i2,
+                hp.R2: self._handle_r2,
+                hp.UPDATE: self._handle_update,
+                hp.CLOSE: self._handle_close,
+                hp.CLOSE_ACK: self._handle_close_ack,
+            }.get(hip_pkt.packet_type)
+            if handler is None:
+                continue
+            yield from handler(hip_pkt, ip)
+
+    def _charge(self, kind: str, cost: float) -> Generator:
+        self.meter.charge(kind, cost)
+        if self.config.charge_costs:
+            yield from self.node.cpu_work(cost)
+
+    # -- responder side ------------------------------------------------------------
+    def _handle_i1(self, i1: hp.HipPacket, ip: IPHeader) -> Generator:
+        if i1.receiver_hit != self.hit:
+            return
+        if self.firewall is not None and not self.firewall.allow_inbound(i1.sender_hit):
+            self.drops_policy += 1
+            return
+        # Stateless: send the precomputed R1 with the initiator's HIT stamped
+        # into the (unsigned) receiver slot.  Cheap by design.
+        yield from self._charge("ctl.i1", 2e-6)
+        r1 = hp.HipPacket(
+            packet_type=hp.R1, sender_hit=self.hit, receiver_hit=i1.sender_hit,
+            params=list(self._r1_template.params),
+        )
+        # RFC 5204: an I1 relayed by a rendezvous server carries the
+        # initiator's address in FROM; answer the initiator directly.
+        reply_to = ip.src
+        from_param = i1.get(hp.FROM)
+        if from_param is not None and len(from_param) >= 17:
+            reply_to = IPAddress(from_param[16], int.from_bytes(from_param[:16], "big"))
+        self._send_control(r1, reply_to)
+
+    def _handle_i2(self, i2: hp.HipPacket, ip: IPHeader) -> Generator:
+        if i2.receiver_hit != self.hit:
+            return
+        if self.firewall is not None and not self.firewall.allow_inbound(i2.sender_hit):
+            self.drops_policy += 1
+            return
+        cm = self.node.cost_model
+        solution_data = i2.get(hp.SOLUTION)
+        dh_data = i2.get(hp.DIFFIE_HELLMAN)
+        host_id_data = i2.get(hp.HOST_ID)
+        esp_data = i2.get(hp.ESP_INFO)
+        hmac_data = i2.get(hp.HMAC_PARAM)
+        sig_data = i2.get(hp.HIP_SIGNATURE)
+        if None in (solution_data, dh_data, host_id_data, esp_data, hmac_data, sig_data):
+            return
+        # 1. Puzzle check: one hash, before any expensive work (DoS posture).
+        k, _opaque, puzzle_i, puzzle_j = hp.parse_solution(solution_data)
+        yield from self._charge("puzzle.verify", cm.puzzle_verify_cost())
+        if puzzle_i != self._puzzle.i or k != self._puzzle.k:
+            return
+        if not verify_solution(self._puzzle, i2.sender_hit.packed(), self.hit.packed(), puzzle_j):
+            return
+        # 2. Identity: HIT must match the carried host id.
+        peer_hi, _di = hp.parse_host_id(host_id_data)
+        if hit_from_public_key(peer_hi) != i2.sender_hit:
+            return
+        # 3. DH + KEYMAT.
+        group_id, peer_pub = hp.parse_dh(dh_data)
+        if group_id != self.config.dh_group:
+            return
+        yield from self._charge("asym.dh.i2", cm.dh_modexp(MODP_GROUPS[group_id].bits))
+        try:
+            secret = self._responder_dh.shared_secret(int.from_bytes(peer_pub, "big"))
+        except ValueError:
+            return
+        keymat = hip_keymat(
+            secret + puzzle_i + puzzle_j,
+            i2.sender_hit.packed(), self.hit.packed(), KEYMAT_BYTES,
+        )
+        hmac_in, hmac_out = keymat[:20], keymat[20:40]
+        # 4. HMAC then signature (cheap check first, per RFC processing order).
+        yield from self._charge("sym.hmac.i2", cm.hmac_cost(200))
+        expect_mac = hmac_digest(hmac_in, i2.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        if expect_mac != hmac_data:
+            return
+        yield from self._charge(
+            "asym.verify.i2", asym_cost_for_host_id(peer_hi, "verify", cm)
+        )
+        if not verify_with_host_id(peer_hi, i2.bytes_for_param(hp.HIP_SIGNATURE), sig_data):
+            return
+        # 5. Create association + SAs.
+        _ki, _old_spi, peer_spi = hp.parse_esp_info(esp_data)
+        assoc = self.assocs.get(i2.sender_hit)
+        if assoc is None or not assoc.is_established:
+            assoc = Association(
+                peer_hit=i2.sender_hit, role="responder", created_at=self.sim.now,
+                established_evt=self.sim.event(),
+            )
+            self.assocs[i2.sender_hit] = assoc
+        assoc.peer_locator = ip.src
+        assoc.peer_host_id = peer_hi
+        assoc.keymat = keymat
+        assoc.hmac_key_in, assoc.hmac_key_out = hmac_in, hmac_out
+        local_spi = self._alloc_spi()
+        assoc.sa_out, assoc.sa_in = derive_sa_pair(
+            keymat[_HIP_KEY_BYTES:], spi_out=peer_spi, spi_in=local_spi,
+            local_hit=self.hit, peer_hit=assoc.peer_hit, is_initiator=False,
+            mode=self.config.esp_mode, encrypt=self.config.esp_encrypt,
+        )
+        self._sa_in_by_spi[local_spi] = assoc
+        # 6. R2: ESP_INFO + HMAC + signature.
+        r2 = self._new_packet(hp.R2, assoc.peer_hit)
+        r2.add(hp.ESP_INFO, hp.build_esp_info(0, local_spi))
+        yield from self._charge("sym.hmac.r2", cm.hmac_cost(120))
+        r2.add(hp.HMAC_PARAM, hmac_digest(hmac_out, r2.bytes_for_param(hp.HMAC_PARAM), "sha1"))
+        yield from self._charge(
+            "asym.sign.r2",
+            asym_cost_for_host_id(self.identity.public_key_bytes, "sign", cm),
+        )
+        r2.add(hp.HIP_SIGNATURE, self.identity.sign(r2.bytes_for_param(hp.HIP_SIGNATURE), self.rng))
+        self._send_control(r2, ip.src)
+        assoc.state = "ESTABLISHED"
+        assoc.established_at = self.sim.now
+        self.bex_completed += 1
+        if not assoc.established_evt.triggered:  # type: ignore[attr-defined]
+            assoc.established_evt.succeed(assoc)  # type: ignore[attr-defined]
+
+    # -- initiator side --------------------------------------------------------------
+    def _handle_r1(self, r1: hp.HipPacket, ip: IPHeader) -> Generator:
+        assoc = self.assocs.get(r1.sender_hit)
+        if assoc is None or assoc.state != "I1-SENT":
+            return
+        cm = self.node.cost_model
+        puzzle_data = r1.get(hp.PUZZLE)
+        dh_data = r1.get(hp.DIFFIE_HELLMAN)
+        host_id_data = r1.get(hp.HOST_ID)
+        sig_data = r1.get(hp.HIP_SIGNATURE)
+        if None in (puzzle_data, dh_data, host_id_data, sig_data):
+            return
+        peer_hi, _di = hp.parse_host_id(host_id_data)
+        if hit_from_public_key(peer_hi) != r1.sender_hit:
+            return
+        # Verify the R1 signature against the precomputation rules
+        # (receiver HIT zeroed).
+        yield from self._charge("asym.verify.r1", asym_cost_for_host_id(peer_hi, "verify", cm))
+        unsigned = hp.HipPacket(
+            packet_type=hp.R1, sender_hit=r1.sender_hit, receiver_hit=IPAddress(6, 0),
+            params=[p for p in r1.params],
+        )
+        if not verify_with_host_id(peer_hi, unsigned.bytes_for_param(hp.HIP_SIGNATURE), sig_data):
+            return
+        assoc.peer_host_id = peer_hi
+        # Solve the puzzle (really, counting attempts for honest cost).
+        k, lifetime_exp, opaque, puzzle_i = hp.parse_puzzle(puzzle_data)
+        puzzle = Puzzle(i=puzzle_i, k=k, lifetime=float(2 ** (lifetime_exp - 1)))
+        j, attempts = solve_puzzle(puzzle, self.hit.packed(), r1.sender_hit.packed(), self.rng)
+        yield from self._charge("puzzle.solve", cm.puzzle_solve_cost(k, attempts))
+        # DH: generate our key pair and compute the shared secret (2 modexps).
+        group_id, peer_pub = hp.parse_dh(dh_data)
+        group = MODP_GROUPS.get(group_id)
+        if group is None:
+            return
+        yield from self._charge("asym.dh.keygen", cm.dh_modexp(group.bits))
+        assoc.dh = DHKeyPair.generate(group, self.rng)
+        yield from self._charge("asym.dh.shared", cm.dh_modexp(group.bits))
+        try:
+            secret = assoc.dh.shared_secret(int.from_bytes(peer_pub, "big"))
+        except ValueError:
+            return
+        keymat = hip_keymat(
+            secret + puzzle_i + j, self.hit.packed(), r1.sender_hit.packed(), KEYMAT_BYTES,
+        )
+        assoc.keymat = keymat
+        assoc.hmac_key_out, assoc.hmac_key_in = keymat[:20], keymat[20:40]
+        local_spi = self._alloc_spi()
+        assoc.pending_update = {"local_spi": local_spi}
+        # Build I2.
+        i2 = self._new_packet(hp.I2, assoc.peer_hit)
+        i2.add(hp.SOLUTION, hp.build_solution(k, opaque, puzzle_i, j))
+        i2.add(hp.DIFFIE_HELLMAN, hp.build_dh(group_id, assoc.dh.public_bytes()))
+        i2.add(hp.ESP_INFO, hp.build_esp_info(0, local_spi))
+        i2.add(hp.HOST_ID, hp.build_host_id(self.identity.public_key_bytes))
+        yield from self._charge("sym.hmac.i2", cm.hmac_cost(400))
+        i2.add(
+            hp.HMAC_PARAM,
+            hmac_digest(assoc.hmac_key_out, i2.bytes_for_param(hp.HMAC_PARAM), "sha1"),
+        )
+        yield from self._charge(
+            "asym.sign.i2",
+            asym_cost_for_host_id(self.identity.public_key_bytes, "sign", cm),
+        )
+        i2.add(hp.HIP_SIGNATURE, self.identity.sign(i2.bytes_for_param(hp.HIP_SIGNATURE), self.rng))
+        assoc.state = "I2-SENT"
+        assoc.peer_locator = ip.src
+        self._send_control(i2, ip.src)
+        self.sim.process(self._i2_retransmitter(assoc, i2), name="hip-i2-rtx")
+
+    def _handle_r2(self, r2: hp.HipPacket, ip: IPHeader) -> Generator:
+        assoc = self.assocs.get(r2.sender_hit)
+        if assoc is None or assoc.state != "I2-SENT":
+            return
+        cm = self.node.cost_model
+        esp_data = r2.get(hp.ESP_INFO)
+        hmac_data = r2.get(hp.HMAC_PARAM)
+        sig_data = r2.get(hp.HIP_SIGNATURE)
+        if None in (esp_data, hmac_data, sig_data):
+            return
+        yield from self._charge("sym.hmac.r2", cm.hmac_cost(120))
+        expect = hmac_digest(assoc.hmac_key_in, r2.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        if expect != hmac_data:
+            return
+        yield from self._charge(
+            "asym.verify.r2", asym_cost_for_host_id(assoc.peer_host_id, "verify", cm)
+        )
+        if not verify_with_host_id(
+            assoc.peer_host_id, r2.bytes_for_param(hp.HIP_SIGNATURE), sig_data
+        ):
+            return
+        _ki, _old, peer_spi = hp.parse_esp_info(esp_data)
+        local_spi = assoc.pending_update["local_spi"]
+        assoc.pending_update = None
+        assoc.sa_out, assoc.sa_in = derive_sa_pair(
+            assoc.keymat[_HIP_KEY_BYTES:], spi_out=peer_spi, spi_in=local_spi,
+            local_hit=self.hit, peer_hit=assoc.peer_hit, is_initiator=True,
+            mode=self.config.esp_mode, encrypt=self.config.esp_encrypt,
+        )
+        self._sa_in_by_spi[local_spi] = assoc
+        assoc.state = "ESTABLISHED"
+        assoc.established_at = self.sim.now
+        self.bex_completed += 1
+        if not assoc.established_evt.triggered:  # type: ignore[attr-defined]
+            assoc.established_evt.succeed(assoc)  # type: ignore[attr-defined]
+        # Flush packets queued while the exchange ran.
+        queued, assoc.queued = assoc.queued, []
+        for packet, kind in queued:
+            yield from self._protect_and_send(assoc, packet, kind)
+
+    # ------------------------------------------------------------------- rekeying --
+    def rekey(self, peer_hit: IPAddress) -> None:
+        """Initiate an ESP rekey (RFC 5202 §6): fresh SPIs and keys, same HITs.
+
+        UPDATE(ESP_INFO old->new SPI, SEQ) → peer installs its side and
+        answers with its own ESP_INFO + ACK → we install ours.  New keys are
+        expanded from the association's KEYMAT with a per-rekey counter, so
+        no new Diffie-Hellman is needed (matching the RFC's keymat-index
+        mechanism).
+        """
+        assoc = self.assocs.get(peer_hit)
+        if assoc is None or not assoc.is_established:
+            raise HipError(f"no established association with {peer_hit}")
+        assert assoc.sa_in is not None
+        new_spi = self._alloc_spi()
+        assoc.pending_rekey = {"old_spi": assoc.sa_in.spi, "new_spi": new_spi,
+                               "count": assoc.rekey_count + 1}
+        assoc.update_id += 1
+        pkt = self._new_packet(hp.UPDATE, peer_hit)
+        pkt.add(hp.ESP_INFO, hp.build_esp_info(assoc.sa_in.spi, new_spi,
+                                               keymat_index=assoc.rekey_count + 1))
+        pkt.add(hp.SEQ, hp.build_seq(assoc.update_id))
+        self._finalize_and_send(pkt, assoc, sign=True)
+
+    def _rekey_keymat(self, assoc: Association, count: int) -> bytes:
+        from repro.crypto.hmac_kdf import hkdf_expand
+
+        return hkdf_expand(
+            assoc.keymat[:32], b"esp-rekey" + bytes([count & 0xFF]), _ESP_KEY_BYTES,
+        )
+
+    def _install_rekeyed_sas(
+        self, assoc: Association, count: int, local_spi: int, peer_spi: int
+    ) -> None:
+        old_spi = assoc.sa_in.spi if assoc.sa_in is not None else None
+        keymat = self._rekey_keymat(assoc, count)
+        assoc.sa_out, assoc.sa_in = derive_sa_pair(
+            keymat, spi_out=peer_spi, spi_in=local_spi,
+            local_hit=self.hit, peer_hit=assoc.peer_hit,
+            is_initiator=(assoc.role == "initiator"),
+            mode=self.config.esp_mode, encrypt=self.config.esp_encrypt,
+        )
+        assoc.rekey_count = count
+        if old_spi is not None:
+            self._sa_in_by_spi.pop(old_spi, None)
+        self._sa_in_by_spi[local_spi] = assoc
+
+    # ------------------------------------------------------------------ mobility --
+    def move_to(self, new_locator: IPAddress) -> None:
+        """Announce a new preferred locator to every established peer.
+
+        Implements the RFC 5206 readdress: UPDATE(LOCATOR, SEQ) →
+        UPDATE(SEQ, ACK, ECHO_REQUEST) → UPDATE(ACK, ECHO_RESPONSE); data
+        continues on the new path once the peer's nonce is echoed.
+        """
+        for assoc in self.assocs.values():
+            if not assoc.is_established:
+                continue
+            assoc.update_id += 1
+            pkt = self._new_packet(hp.UPDATE, assoc.peer_hit)
+            pkt.add(hp.LOCATOR, hp.build_locator([(new_locator, 120.0)]))
+            pkt.add(hp.SEQ, hp.build_seq(assoc.update_id))
+            self._finalize_and_send(pkt, assoc, sign=True)
+
+    def _finalize_and_send(self, pkt: hp.HipPacket, assoc: Association, sign: bool) -> None:
+        """Attach HMAC (+ signature) and transmit on the association's locator."""
+        pkt.add(
+            hp.HMAC_PARAM,
+            hmac_digest(assoc.hmac_key_out, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1"),
+        )
+        self.meter.charge("sym.hmac.ctl", self.node.cost_model.hmac_cost(150))
+        if sign:
+            self.meter.charge(
+                "asym.sign.ctl",
+                asym_cost_for_host_id(
+                    self.identity.public_key_bytes, "sign", self.node.cost_model
+                ),
+            )
+            pkt.add(
+                hp.HIP_SIGNATURE,
+                self.identity.sign(pkt.bytes_for_param(hp.HIP_SIGNATURE), self.rng),
+            )
+        self._send_control(pkt, assoc.peer_locator)
+
+    def _verify_control(self, pkt: hp.HipPacket, assoc: Association) -> bool:
+        hmac_data = pkt.get(hp.HMAC_PARAM)
+        sig_data = pkt.get(hp.HIP_SIGNATURE)
+        if hmac_data is None or sig_data is None:
+            return False
+        expect = hmac_digest(assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        if expect != hmac_data:
+            return False
+        return verify_with_host_id(
+            assoc.peer_host_id or b"", pkt.bytes_for_param(hp.HIP_SIGNATURE), sig_data
+        ) or not assoc.peer_host_id  # responder may not have stored HI for updates
+
+    def _handle_update(self, pkt: hp.HipPacket, ip: IPHeader) -> Generator:
+        assoc = self.assocs.get(pkt.sender_hit)
+        if assoc is None or not assoc.is_established:
+            return
+        cm = self.node.cost_model
+        yield from self._charge("sym.hmac.update", cm.hmac_cost(150))
+        hmac_data = pkt.get(hp.HMAC_PARAM)
+        if hmac_data is None:
+            return
+        expect = hmac_digest(assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        if expect != hmac_data:
+            return
+
+        locator_data = pkt.get(hp.LOCATOR)
+        seq_data = pkt.get(hp.SEQ)
+        ack_data = pkt.get(hp.ACK)
+        echo_req = pkt.get(hp.ECHO_REQUEST_SIGNED)
+        echo_resp = pkt.get(hp.ECHO_RESPONSE_SIGNED)
+        esp_data = pkt.get(hp.ESP_INFO)
+
+        if esp_data is not None and locator_data is None:
+            yield from self._handle_rekey_update(pkt, assoc, esp_data,
+                                                 seq_data, ack_data)
+            return
+
+        if locator_data is not None and seq_data is not None:
+            # U1: peer moved.  Verify the new address with a nonce echo (U2).
+            yield from self._charge(
+                "asym.verify.update", asym_cost_for_host_id(assoc.peer_host_id, "verify", cm)
+            )
+            sig_data = pkt.get(hp.HIP_SIGNATURE)
+            if sig_data is None or not verify_with_host_id(
+                assoc.peer_host_id, pkt.bytes_for_param(hp.HIP_SIGNATURE), sig_data
+            ):
+                return
+            locators = hp.parse_locator(locator_data)
+            if not locators:
+                return
+            candidate = locators[0][0]
+            nonce = self.rng.getrandbits(64).to_bytes(8, "big")
+            assoc.pending_update = {"verify_addr": candidate, "nonce": nonce}
+            assoc.update_id += 1
+            reply = self._new_packet(hp.UPDATE, assoc.peer_hit)
+            reply.add(hp.SEQ, hp.build_seq(assoc.update_id))
+            reply.add(hp.ACK, hp.build_ack([hp.parse_seq(seq_data)]))
+            reply.add(hp.ECHO_REQUEST_SIGNED, nonce)
+            # Address verification: send to the *candidate* address.
+            old_locator = assoc.peer_locator
+            assoc.peer_locator = candidate
+            self._finalize_and_send(reply, assoc, sign=True)
+            assoc.peer_locator = old_locator  # committed only after the echo
+            return
+
+        if echo_req is not None and seq_data is not None:
+            # U2: echo the nonce back (we are the mobile node).
+            assoc.update_id += 1
+            reply = self._new_packet(hp.UPDATE, assoc.peer_hit)
+            reply.add(hp.ACK, hp.build_ack([hp.parse_seq(seq_data)]))
+            reply.add(hp.ECHO_RESPONSE_SIGNED, echo_req)
+            self._finalize_and_send(reply, assoc, sign=False)
+            return
+
+        if echo_resp is not None and assoc.pending_update:
+            # U3: nonce verified — commit the new peer locator.
+            pending = assoc.pending_update
+            if pending.get("nonce") == echo_resp:
+                assoc.peer_locator = pending["verify_addr"]
+                self.hosts[assoc.peer_hit] = [pending["verify_addr"]]
+                assoc.pending_update = None
+            return
+
+    def _handle_rekey_update(
+        self, pkt: hp.HipPacket, assoc: Association,
+        esp_data: bytes, seq_data: bytes | None, ack_data: bytes | None,
+    ) -> Generator:
+        cm = self.node.cost_model
+        keymat_index, _peer_old, peer_new = hp.parse_esp_info(esp_data)
+        if ack_data is not None and assoc.pending_rekey is not None:
+            # Rekey response: the peer installed; now we do.
+            pending = assoc.pending_rekey
+            if keymat_index != pending["count"]:
+                return
+            yield from self._charge("sym.rekey", cm.hmac_cost(72))
+            self._install_rekeyed_sas(
+                assoc, pending["count"], pending["new_spi"], peer_new,
+            )
+            assoc.pending_rekey = None
+            return
+        if seq_data is None:
+            return
+        # Rekey request: verify the signature before replacing keys.
+        sig_data = pkt.get(hp.HIP_SIGNATURE)
+        yield from self._charge(
+            "asym.verify.rekey", asym_cost_for_host_id(assoc.peer_host_id, "verify", cm)
+        )
+        if sig_data is None or not verify_with_host_id(
+            assoc.peer_host_id, pkt.bytes_for_param(hp.HIP_SIGNATURE), sig_data
+        ):
+            return
+        local_spi = self._alloc_spi()
+        yield from self._charge("sym.rekey", cm.hmac_cost(72))
+        self._install_rekeyed_sas(assoc, keymat_index, local_spi, peer_new)
+        assoc.update_id += 1
+        reply = self._new_packet(hp.UPDATE, assoc.peer_hit)
+        reply.add(hp.ESP_INFO, hp.build_esp_info(0, local_spi,
+                                                 keymat_index=keymat_index))
+        reply.add(hp.ACK, hp.build_ack([hp.parse_seq(seq_data)]))
+        self._finalize_and_send(reply, assoc, sign=False)
+
+    # ------------------------------------------------------------------- teardown --
+    def _handle_close(self, pkt: hp.HipPacket, ip: IPHeader) -> Generator:
+        assoc = self.assocs.get(pkt.sender_hit)
+        if assoc is None or assoc.state not in ("ESTABLISHED", "CLOSING"):
+            return
+        yield from self._charge("sym.hmac.close", self.node.cost_model.hmac_cost(100))
+        hmac_data = pkt.get(hp.HMAC_PARAM)
+        if hmac_data is None:
+            return
+        expect = hmac_digest(assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        if expect != hmac_data:
+            return
+        echo = pkt.get(hp.ECHO_REQUEST_SIGNED) or b""
+        ack = self._new_packet(hp.CLOSE_ACK, assoc.peer_hit)
+        ack.add(hp.ECHO_RESPONSE_SIGNED, echo)
+        self._finalize_and_send(ack, assoc, sign=False)
+        self._drop_assoc(assoc)
+
+    def _handle_close_ack(self, pkt: hp.HipPacket, ip: IPHeader) -> Generator:
+        assoc = self.assocs.get(pkt.sender_hit)
+        if assoc is None or assoc.state != "CLOSING":
+            return
+        yield from self._charge("sym.hmac.close", self.node.cost_model.hmac_cost(100))
+        self._drop_assoc(assoc)
+
+    def _drop_assoc(self, assoc: Association) -> None:
+        assoc.state = "CLOSED"
+        if assoc.sa_in is not None:
+            self._sa_in_by_spi.pop(assoc.sa_in.spi, None)
+        assoc.sa_in = assoc.sa_out = None
+
+    # --------------------------------------------------------------------- helpers --
+    def _alloc_spi(self) -> int:
+        spi = self._spi_counter
+        self._spi_counter += 1
+        while self._spi_counter in self._sa_in_by_spi:
+            self._spi_counter += 1
+        return spi

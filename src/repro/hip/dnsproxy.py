@@ -1,0 +1,92 @@
+"""DNS-based HIP peer discovery (RFC 5205) — the HIPL "DNS proxy" role.
+
+HIPL ships a DNS proxy that intercepts applications' queries: when a name
+has a HIP resource record, the proxy returns the HIT (for AAAA queries) or
+a freshly-mapped LSI (for A queries) instead of the routable address, and
+primes the daemon with the HIT→locator mapping.  The application then
+connects to the HIT/LSI and is transparently protected.
+
+:class:`HipDnsProxy` implements exactly that against our
+:mod:`repro.net.dns` resolver.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.hip.daemon import HipDaemon
+from repro.net.addresses import IPAddress
+from repro.net.dns import DnsRecord, DnsResolver, Zone
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+def publish_hip_host(
+    zone: Zone,
+    name: str,
+    daemon: HipDaemon,
+    locators: list[IPAddress],
+    ttl: float = 60.0,
+    rvs: tuple[str, ...] = (),
+) -> None:
+    """Publish a host's HIP + A records (what ``hipdnskeyparse`` feeds Bind).
+
+    The paper recommends small TTLs for HIP records so re-contact after
+    mobility works; 60 s matches that guidance.
+    """
+    zone.add(DnsRecord(
+        name=name, rtype="HIP", ttl=ttl, hit=daemon.hit,
+        host_id=daemon.identity.public_key_bytes, rvs=rvs,
+    ))
+    for locator in locators:
+        rtype = "A" if locator.family == 4 else "AAAA"
+        zone.add(DnsRecord(name=name, rtype=rtype, ttl=ttl, address=locator))
+
+
+class HipDnsProxy:
+    """Resolver-side interception for a HIP-enabled host."""
+
+    def __init__(self, daemon: HipDaemon, resolver: DnsResolver) -> None:
+        self.daemon = daemon
+        self.resolver = resolver
+        self.hip_answers = 0
+        self.plain_answers = 0
+
+    def resolve(self, name: str, family: int = 4) -> Generator:
+        """Process-generator: resolve ``name`` the way a HIP host should.
+
+        Returns an :class:`IPAddress`: the peer's HIT (family 6) or a local
+        LSI (family 4) when the name has a HIP record — with the daemon
+        primed for the base exchange — or the plain A/AAAA answer otherwise.
+        Raises KeyError when the name does not resolve at all.
+        """
+        hip_records = yield from self.resolver.query(name, "HIP")
+        # Locators can be either family regardless of what the application
+        # asked for — the app family only selects the HIT vs LSI answer.
+        addr_records = yield from self.resolver.query(name, "A")
+        if not addr_records:
+            addr_records = yield from self.resolver.query(name, "AAAA")
+        locators = [r.address for r in addr_records if r.address is not None]
+        if hip_records:
+            record = hip_records[0]
+            assert record.hit is not None
+            if locators:
+                self.daemon.add_peer(record.hit, locators)
+            elif record.rvs:
+                # No locator published: fall back to the rendezvous server.
+                rvs_records = yield from self.resolver.query(record.rvs[0], "A")
+                rvs_locators = [r.address for r in rvs_records if r.address is not None]
+                if not rvs_locators:
+                    raise KeyError(f"{name}: HIP record has unreachable RVS")
+                self.daemon.add_peer(record.hit, rvs_locators)
+            else:
+                raise KeyError(f"{name}: HIP record without locators or RVS")
+            self.hip_answers += 1
+            if family == 6:
+                return record.hit
+            return self.daemon.lsi_for_peer(record.hit)
+        if not locators:
+            raise KeyError(f"{name} does not resolve")
+        self.plain_answers += 1
+        return locators[0]

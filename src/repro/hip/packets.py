@@ -1,0 +1,285 @@
+"""HIP control-packet wire format (RFC 5201/5202/5203/5206).
+
+Packets serialize to real bytes: a fixed 40-byte header (next-header, length,
+type, version, checksum, controls, sender HIT, receiver HIT) followed by TLV
+parameters padded to 8-byte boundaries and ordered by ascending type code.
+
+The HMAC covers the packet with parameters up to (excluding) the HMAC
+parameter; the signature covers everything up to (excluding) the SIGNATURE
+parameter — both with the checksum field zeroed — matching the RFC's
+construction so a single bit flip anywhere breaks verification in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPAddress
+
+HIP_VERSION = 1
+
+# Packet types (RFC 5201 §5.3).
+I1, R1, I2, R2 = 1, 2, 3, 4
+UPDATE, NOTIFY, CLOSE, CLOSE_ACK = 16, 17, 18, 19
+
+PACKET_NAMES = {
+    I1: "I1", R1: "R1", I2: "I2", R2: "R2",
+    UPDATE: "UPDATE", NOTIFY: "NOTIFY", CLOSE: "CLOSE", CLOSE_ACK: "CLOSE_ACK",
+}
+
+# Parameter type codes (RFC 5201 §5.2 and extensions).
+ESP_INFO = 65
+R1_COUNTER = 128
+LOCATOR = 193
+PUZZLE = 257
+SOLUTION = 321
+SEQ = 385
+ACK = 449
+DIFFIE_HELLMAN = 513
+HIP_TRANSFORM = 577
+HOST_ID = 705
+NOTIFICATION = 832
+ECHO_REQUEST_SIGNED = 897
+ECHO_RESPONSE_SIGNED = 961
+REG_INFO = 930
+REG_REQUEST = 932
+REG_RESPONSE = 934
+FROM = 65498  # RFC 5204 rendezvous
+VIA_RVS = 65502
+HMAC_PARAM = 61505
+HIP_SIGNATURE = 61697
+ECHO_REQUEST_UNSIGNED = 63661
+ECHO_RESPONSE_UNSIGNED = 63425
+
+
+class HipParseError(Exception):
+    """Malformed HIP packet or parameter."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One TLV parameter."""
+
+    code: int
+    data: bytes
+
+    def serialize(self) -> bytes:
+        tlv = struct.pack(">HH", self.code, len(self.data)) + self.data
+        pad = (-len(tlv)) % 8
+        return tlv + b"\x00" * pad
+
+
+@dataclass
+class HipPacket:
+    """A HIP control packet."""
+
+    packet_type: int
+    sender_hit: IPAddress
+    receiver_hit: IPAddress
+    params: list[Param] = field(default_factory=list)
+    controls: int = 0
+
+    def add(self, code: int, data: bytes) -> None:
+        self.params.append(Param(code, data))
+        self.params.sort(key=lambda p: p.code)
+
+    def get(self, code: int) -> bytes | None:
+        for p in self.params:
+            if p.code == code:
+                return p.data
+        return None
+
+    def get_all(self, code: int) -> list[bytes]:
+        return [p.data for p in self.params if p.code == code]
+
+    @property
+    def type_name(self) -> str:
+        return PACKET_NAMES.get(self.packet_type, f"type-{self.packet_type}")
+
+    # -- serialization -------------------------------------------------------------
+    def _header(self, payload_len: int) -> bytes:
+        # next-header = 59 (no next header), length in 8-byte units excluding
+        # the first 8 bytes, checksum transmitted as zero in our overlay.
+        total = 40 + payload_len
+        length_field = (total - 8) // 8
+        return (
+            struct.pack(
+                ">BBBBHH", 59, length_field, self.packet_type, HIP_VERSION << 4 | 1,
+                0, self.controls,
+            )
+            + self.sender_hit.packed()
+            + self.receiver_hit.packed()
+        )
+
+    def serialize(self) -> bytes:
+        body = b"".join(p.serialize() for p in sorted(self.params, key=lambda p: p.code))
+        if len(body) % 8:
+            raise HipParseError("parameter block not 8-byte aligned")
+        return self._header(len(body)) + body
+
+    def bytes_for_param(self, excluded_code: int) -> bytes:
+        """Packet bytes covering parameters strictly below ``excluded_code``.
+
+        This is the input to both HMAC (excluded_code=HMAC_PARAM) and the
+        signature (excluded_code=HIP_SIGNATURE), per the RFC construction.
+        """
+        included = [p for p in self.params if p.code < excluded_code]
+        body = b"".join(p.serialize() for p in sorted(included, key=lambda p: p.code))
+        return self._header(len(body)) + body
+
+    @classmethod
+    def parse(cls, data: bytes) -> "HipPacket":
+        if len(data) < 40:
+            raise HipParseError("truncated HIP header")
+        nxt, length_field, ptype, ver, _csum, controls = struct.unpack_from(">BBBBHH", data, 0)
+        if (ver >> 4) != HIP_VERSION:
+            raise HipParseError(f"unsupported HIP version {ver >> 4}")
+        total = (length_field * 8) + 8
+        if total != len(data):
+            raise HipParseError(f"length field says {total}, packet has {len(data)} bytes")
+        sender = IPAddress(6, int.from_bytes(data[8:24], "big"))
+        receiver = IPAddress(6, int.from_bytes(data[24:40], "big"))
+        packet = cls(packet_type=ptype, sender_hit=sender, receiver_hit=receiver,
+                     controls=controls)
+        off = 40
+        prev_code = -1
+        while off < len(data):
+            if off + 4 > len(data):
+                raise HipParseError("truncated parameter header")
+            code, plen = struct.unpack_from(">HH", data, off)
+            if code < prev_code:
+                raise HipParseError("parameters out of order")
+            prev_code = code
+            value = data[off + 4 : off + 4 + plen]
+            if len(value) != plen:
+                raise HipParseError("truncated parameter value")
+            packet.params.append(Param(code, bytes(value)))
+            off += 4 + plen + ((-(4 + plen)) % 8)
+        return packet
+
+
+# -- typed parameter builders/parsers ------------------------------------------------
+
+def build_puzzle(k: int, lifetime_exp: int, opaque: int, i: bytes) -> bytes:
+    return struct.pack(">BBH", k, lifetime_exp, opaque) + i
+
+
+def parse_puzzle(data: bytes) -> tuple[int, int, int, bytes]:
+    if len(data) < 4 + 8:
+        raise HipParseError("short PUZZLE parameter")
+    k, lifetime_exp, opaque = struct.unpack_from(">BBH", data, 0)
+    return k, lifetime_exp, opaque, data[4:12]
+
+
+def build_solution(k: int, opaque: int, i: bytes, j: bytes) -> bytes:
+    return struct.pack(">BBH", k, 0, opaque) + i + j
+
+
+def parse_solution(data: bytes) -> tuple[int, int, bytes, bytes]:
+    if len(data) < 4 + 16:
+        raise HipParseError("short SOLUTION parameter")
+    k, _res, opaque = struct.unpack_from(">BBH", data, 0)
+    return k, opaque, data[4:12], data[12:20]
+
+
+def build_dh(group_id: int, public: bytes) -> bytes:
+    return struct.pack(">BH", group_id, len(public)) + public
+
+
+def parse_dh(data: bytes) -> tuple[int, bytes]:
+    if len(data) < 3:
+        raise HipParseError("short DIFFIE_HELLMAN parameter")
+    group_id, length = struct.unpack_from(">BH", data, 0)
+    if len(data) < 3 + length:
+        raise HipParseError("truncated DH public value")
+    return group_id, data[3 : 3 + length]
+
+
+def build_esp_info(old_spi: int, new_spi: int, keymat_index: int = 0) -> bytes:
+    return struct.pack(">HHII", 0, keymat_index, old_spi, new_spi)
+
+
+def parse_esp_info(data: bytes) -> tuple[int, int, int]:
+    if len(data) < 12:
+        raise HipParseError("short ESP_INFO parameter")
+    _res, keymat_index, old_spi, new_spi = struct.unpack(">HHII", data[:12])
+    return keymat_index, old_spi, new_spi
+
+
+def build_host_id(public_key_bytes: bytes, domain_id: bytes = b"") -> bytes:
+    return (
+        struct.pack(">HH", len(public_key_bytes), len(domain_id))
+        + public_key_bytes
+        + domain_id
+    )
+
+
+def parse_host_id(data: bytes) -> tuple[bytes, bytes]:
+    if len(data) < 4:
+        raise HipParseError("short HOST_ID parameter")
+    hi_len, di_len = struct.unpack_from(">HH", data, 0)
+    if len(data) < 4 + hi_len + di_len:
+        raise HipParseError("truncated HOST_ID parameter")
+    return data[4 : 4 + hi_len], data[4 + hi_len : 4 + hi_len + di_len]
+
+
+def build_locator(addrs: list[tuple[IPAddress, float]]) -> bytes:
+    """LOCATOR: list of (address, preferred-lifetime)."""
+    out = struct.pack(">H", len(addrs))
+    for addr, lifetime in addrs:
+        out += struct.pack(">Bf", addr.family, lifetime)
+        out += addr.value.to_bytes(16, "big")  # v4 stored v4-mapped style
+    return out
+
+
+def parse_locator(data: bytes) -> list[tuple[IPAddress, float]]:
+    if len(data) < 2:
+        raise HipParseError("short LOCATOR parameter")
+    (count,) = struct.unpack_from(">H", data, 0)
+    off = 2
+    out = []
+    for _ in range(count):
+        if off + 5 + 16 > len(data):
+            raise HipParseError("truncated LOCATOR entry")
+        family, lifetime = struct.unpack_from(">Bf", data, off)
+        off += 5
+        value = int.from_bytes(data[off : off + 16], "big")
+        off += 16
+        out.append((IPAddress(family, value), lifetime))
+    return out
+
+
+def build_seq(update_id: int) -> bytes:
+    return struct.pack(">I", update_id)
+
+
+def parse_seq(data: bytes) -> int:
+    if len(data) < 4:
+        raise HipParseError("short SEQ parameter")
+    return struct.unpack(">I", data[:4])[0]
+
+
+def build_ack(update_ids: list[int]) -> bytes:
+    return struct.pack(f">{len(update_ids)}I", *update_ids)
+
+
+def parse_ack(data: bytes) -> list[int]:
+    if len(data) % 4:
+        raise HipParseError("bad ACK parameter length")
+    return list(struct.unpack(f">{len(data) // 4}I", data))
+
+
+def build_transform(suite_ids: list[int]) -> bytes:
+    return struct.pack(f">{len(suite_ids)}H", *suite_ids)
+
+
+def parse_transform(data: bytes) -> list[int]:
+    if len(data) % 2:
+        raise HipParseError("bad transform parameter length")
+    return list(struct.unpack(f">{len(data) // 2}H", data))
+
+
+# ESP transform suite ids (RFC 5202 §5.1.2).
+SUITE_AES_CBC_HMAC_SHA1 = 1
+SUITE_NULL_HMAC_SHA1 = 2

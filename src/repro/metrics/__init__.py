@@ -1,0 +1,5 @@
+"""Measurement helpers shared by benchmarks and scenarios."""
+
+from repro.metrics.stats import describe, mean, percentile, stdev
+
+__all__ = ["describe", "mean", "percentile", "stdev"]

@@ -1,0 +1,74 @@
+"""Summary statistics for experiment outputs (pure Python, no numpy needed).
+
+Kept dependency-free so benchmark report code can't drift from the library's
+own accounting; numpy is reserved for the heavier analysis in benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        return float("nan")
+    return sum(xs) / len(xs)
+
+
+def stdev(xs: Sequence[float]) -> float:
+    if len(xs) < 2:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile, p in [0, 100]."""
+    if not xs:
+        return float("nan")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(xs)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = p / 100 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    n: int
+    mean: float
+    stdev: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} sd={self.stdev:.4g} "
+            f"p50={self.p50:.4g} p95={self.p95:.4g} p99={self.p99:.4g}"
+        )
+
+
+def describe(xs: Iterable[float]) -> Summary:
+    data = list(xs)
+    if not data:
+        return Summary(0, *([float("nan")] * 7))
+    return Summary(
+        n=len(data),
+        mean=mean(data),
+        stdev=stdev(data),
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+        minimum=min(data),
+        maximum=max(data),
+    )

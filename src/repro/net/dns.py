@@ -1,0 +1,218 @@
+"""DNS with HIP resource records (RFC 5205).
+
+A :class:`DnsServer` owns a zone of A / AAAA / HIP records and answers UDP
+queries on port 53; :class:`DnsResolver` is the client side.  HIP records
+carry the Host Identity Tag, the full Host Identifier (public key) and
+optional rendezvous server names, exactly the data the paper's DNS-proxy
+deployment relies on.
+
+Messages are encoded as a compact length-prefixed binary format — simpler
+than RFC 1035 compression but byte-serialized and size-realistic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.net.addresses import IPAddress
+from repro.net.udp import UdpSocket, UdpStack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+DNS_PORT = 53
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """One resource record."""
+
+    name: str
+    rtype: str  # "A" | "AAAA" | "HIP"
+    ttl: float = 300.0
+    address: IPAddress | None = None  # A / AAAA
+    hit: IPAddress | None = None  # HIP
+    host_id: bytes = b""  # HIP: serialized public key
+    rvs: tuple[str, ...] = ()  # HIP: rendezvous server names
+
+    def __post_init__(self) -> None:
+        if self.rtype in ("A", "AAAA"):
+            if self.address is None:
+                raise ValueError(f"{self.rtype} record requires an address")
+            expect = 4 if self.rtype == "A" else 6
+            if self.address.family != expect:
+                raise ValueError(f"{self.rtype} record has family-{self.address.family} address")
+        elif self.rtype == "HIP":
+            if self.hit is None or self.hit.family != 6:
+                raise ValueError("HIP record requires an IPv6 HIT")
+        else:
+            raise ValueError(f"unsupported record type {self.rtype!r}")
+
+
+def _pack_str(s: str) -> bytes:
+    data = s.encode("utf-8")
+    return struct.pack(">H", len(data)) + data
+
+
+def _unpack_str(buf: bytes, off: int) -> tuple[str, int]:
+    (n,) = struct.unpack_from(">H", buf, off)
+    off += 2
+    return buf[off : off + n].decode("utf-8"), off + n
+
+
+def encode_query(qname: str, qtype: str, qid: int) -> bytes:
+    return struct.pack(">HB", qid, 0) + _pack_str(qname) + _pack_str(qtype)
+
+
+def decode_query(data: bytes) -> tuple[int, str, str]:
+    qid, kind = struct.unpack_from(">HB", data, 0)
+    if kind != 0:
+        raise ValueError("not a query")
+    qname, off = _unpack_str(data, 3)
+    qtype, _ = _unpack_str(data, off)
+    return qid, qname, qtype
+
+
+def encode_response(qid: int, records: list[DnsRecord]) -> bytes:
+    out = struct.pack(">HBH", qid, 1, len(records))
+    for r in records:
+        out += _pack_str(r.name) + _pack_str(r.rtype) + struct.pack(">f", r.ttl)
+        if r.rtype in ("A", "AAAA"):
+            assert r.address is not None
+            out += struct.pack(">B", r.address.family) + r.address.packed()
+        else:
+            assert r.hit is not None
+            out += r.hit.packed()
+            out += struct.pack(">H", len(r.host_id)) + r.host_id
+            out += struct.pack(">B", len(r.rvs))
+            for name in r.rvs:
+                out += _pack_str(name)
+    return out
+
+
+def decode_response(data: bytes) -> tuple[int, list[DnsRecord]]:
+    qid, kind, count = struct.unpack_from(">HBH", data, 0)
+    if kind != 1:
+        raise ValueError("not a response")
+    off = 5
+    records: list[DnsRecord] = []
+    for _ in range(count):
+        name, off = _unpack_str(data, off)
+        rtype, off = _unpack_str(data, off)
+        (ttl,) = struct.unpack_from(">f", data, off)
+        off += 4
+        if rtype in ("A", "AAAA"):
+            family = data[off]
+            off += 1
+            size = 4 if family == 4 else 16
+            addr = IPAddress(family, int.from_bytes(data[off : off + size], "big"))
+            off += size
+            records.append(DnsRecord(name=name, rtype=rtype, ttl=ttl, address=addr))
+        elif rtype == "HIP":
+            hit = IPAddress(6, int.from_bytes(data[off : off + 16], "big"))
+            off += 16
+            (hid_len,) = struct.unpack_from(">H", data, off)
+            off += 2
+            host_id = data[off : off + hid_len]
+            off += hid_len
+            n_rvs = data[off]
+            off += 1
+            rvs = []
+            for _ in range(n_rvs):
+                rvs_name, off = _unpack_str(data, off)
+                rvs.append(rvs_name)
+            records.append(
+                DnsRecord(name=name, rtype=rtype, ttl=ttl, hit=hit,
+                          host_id=host_id, rvs=tuple(rvs))
+            )
+        else:
+            raise ValueError(f"bad record type {rtype!r} in response")
+    return qid, records
+
+
+@dataclass
+class Zone:
+    """A mutable set of records, indexed by (name, type)."""
+
+    records: dict[tuple[str, str], list[DnsRecord]] = field(default_factory=dict)
+
+    def add(self, record: DnsRecord) -> None:
+        self.records.setdefault((record.name, record.rtype), []).append(record)
+
+    def remove(self, name: str, rtype: str) -> None:
+        self.records.pop((name, rtype), None)
+
+    def lookup(self, name: str, rtype: str) -> list[DnsRecord]:
+        return list(self.records.get((name, rtype), ()))
+
+
+class DnsServer:
+    """Authoritative server bound to a node's UDP port 53."""
+
+    def __init__(self, node: "Node", udp: UdpStack, zone: Zone | None = None) -> None:
+        self.node = node
+        self.zone = zone or Zone()
+        self.queries_served = 0
+        self._sock = udp.bind(DNS_PORT)
+        node.sim.process(self._serve(), name=f"dns-server-{node.name}")
+
+    def _serve(self) -> Generator:
+        while True:
+            data, (src, src_port) = yield self._sock.recvfrom()
+            try:
+                qid, qname, qtype = decode_query(bytes(data))
+            except (ValueError, struct.error):
+                continue
+            yield from self.node.cpu_work(20e-6)  # lookup + response build
+            answers = self.zone.lookup(qname, qtype)
+            self.queries_served += 1
+            self._sock.sendto(encode_response(qid, answers), src, src_port)
+
+
+class DnsResolver:
+    """Stub resolver with a positive cache honouring record TTLs."""
+
+    def __init__(self, node: "Node", udp: UdpStack, server_addr: IPAddress) -> None:
+        self.node = node
+        self.udp = udp
+        self.server_addr = server_addr
+        self._next_id = 1
+        self._cache: dict[tuple[str, str], tuple[float, list[DnsRecord]]] = {}
+
+    def query(self, qname: str, qtype: str, timeout: float = 2.0, retries: int = 2) -> Generator:
+        """Process-generator: resolve; returns list of records (may be empty).
+
+        Raises TimeoutError when the server never answers.
+        """
+        sim = self.node.sim
+        cached = self._cache.get((qname, qtype))
+        if cached is not None:
+            expires, records = cached
+            if sim.now < expires:
+                return records
+            del self._cache[(qname, qtype)]
+        sock = self.udp.bind(0)
+        try:
+            for _attempt in range(retries + 1):
+                qid = self._next_id
+                self._next_id += 1
+                sock.sendto(encode_query(qname, qtype, qid), self.server_addr, DNS_PORT)
+                from repro.sim.events import AnyOf
+
+                reply = sock.recvfrom()
+                deadline = sim.timeout(timeout)
+                winner, value = yield AnyOf(sim, [reply, deadline])
+                if winner is reply:
+                    data, _src = value
+                    rid, records = decode_response(bytes(data))
+                    if rid != qid:
+                        continue  # stale response; retry
+                    if records:
+                        ttl = min(r.ttl for r in records)
+                        self._cache[(qname, qtype)] = (sim.now + ttl, records)
+                    return records
+            raise TimeoutError(f"DNS query {qname}/{qtype} timed out")
+        finally:
+            sock.close()

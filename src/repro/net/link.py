@@ -1,0 +1,109 @@
+"""Point-to-point links with bandwidth, propagation delay and drop-tail queues.
+
+Each direction of a link has its own transmitter process: packets wait in a
+bounded FIFO, are serialized at the link rate (``size_bytes * 8 / bandwidth``)
+and arrive at the far end after the propagation delay.  This is the standard
+store-and-forward model; with TCP on top it yields the familiar
+``min(C, cwnd/RTT)`` throughput behaviour that the iperf experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.resources import Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Interface
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+
+class LinkEndpoint:
+    """One direction of a link: egress queue + serializer process."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int,
+        loss_rate: float = 0.0,
+        loss_rng=None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("negative propagation delay")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("loss_rate needs a loss_rng stream")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.loss_rate = loss_rate
+        self.loss_rng = loss_rng
+        self.queue = Queue(sim, capacity=queue_packets)
+        self.peer: "Interface | None" = None
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.lost_packets = 0
+        sim.process(self._transmitter(), name="link-tx")
+
+    def send(self, packet: "Packet") -> bool:
+        """Enqueue for transmission; returns False if the queue dropped it."""
+        return self.queue.try_put(packet)
+
+    def _transmitter(self):
+        while True:
+            packet = yield self.queue.get()
+            serialize = packet.size_bytes * 8.0 / self.bandwidth_bps
+            yield self.sim.timeout(serialize)
+            self.tx_packets += 1
+            self.tx_bytes += packet.size_bytes
+            if self.loss_rate and self.loss_rng.random() < self.loss_rate:
+                self.lost_packets += 1
+                continue
+            # Propagation: deliver after delay without blocking the serializer.
+            self.sim.process(self._deliver(packet), name="link-prop")
+
+    def _deliver(self, packet: "Packet"):
+        yield self.sim.timeout(self.delay_s)
+        if self.peer is not None:
+            self.peer.receive(packet)
+
+
+class Link:
+    """Full-duplex link between two interfaces.
+
+    Attach with :meth:`connect`; per-direction parameters are symmetric by
+    default but each endpoint can be tuned afterwards (e.g. asymmetric
+    bandwidth).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth_bps: float = 1e9,
+        delay_s: float = 100e-6,
+        queue_packets: int = 256,
+        loss_rate: float = 0.0,
+        loss_rng=None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.a_to_b = LinkEndpoint(sim, bandwidth_bps, delay_s, queue_packets, loss_rate, loss_rng)
+        self.b_to_a = LinkEndpoint(sim, bandwidth_bps, delay_s, queue_packets, loss_rate, loss_rng)
+
+    def connect(self, iface_a: "Interface", iface_b: "Interface") -> None:
+        """Wire the two interfaces to each other through this link."""
+        self.a_to_b.peer = iface_b
+        self.b_to_a.peer = iface_a
+        iface_a.attach(self.a_to_b)
+        iface_b.attach(self.b_to_a)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.a_to_b.tx_bytes + self.b_to_a.tx_bytes

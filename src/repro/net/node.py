@@ -1,0 +1,258 @@
+"""Network nodes: interfaces, protocol dispatch, forwarding, and a CPU model.
+
+A :class:`Node` is anything with a network presence — a VM, a physical
+router, a NAT box, the load balancer.  Protocol engines (UDP, TCP, ICMP,
+ESP, HIP) register handlers for their IP protocol string; *output shims* let
+the HIP daemon intercept locally-originated packets addressed to HITs/LSIs
+before routing (that is exactly where HIPL's LD_PRELOAD/iptables hook sits
+in the real stack).
+
+The CPU model is deliberately simple and explicit: a node has ``cpu_cores``
+worker slots and a ``cpu_scale`` multiplier (an EC2 micro instance gets
+``cpu_scale > 1`` — the same work takes longer than on the reference core).
+All protocol and application work passes through :meth:`Node.cpu_work`, so
+CPU contention at high concurrency emerges naturally — which is what bends
+the throughput curves in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.crypto.costmodel import CostModel
+from repro.net.addresses import IPAddress
+from repro.net.packet import IPHeader, Packet
+from repro.net.routing import RouteTable
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import LinkEndpoint
+    from repro.sim.engine import Simulator
+
+ProtocolHandler = Callable[["Node", Packet, "Interface"], None]
+OutputShim = Callable[["Node", Packet], "Packet | None"]
+
+
+class Interface:
+    """A network interface: a set of addresses and an attachment to a link."""
+
+    def __init__(self, node: "Node", name: str) -> None:
+        self.node = node
+        self.name = name
+        self.addresses: list[IPAddress] = []
+        self._endpoint: "LinkEndpoint | None" = None
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    def add_address(self, addr: IPAddress) -> None:
+        if addr not in self.addresses:
+            self.addresses.append(addr)
+
+    def remove_address(self, addr: IPAddress) -> None:
+        self.addresses.remove(addr)
+
+    def attach(self, endpoint: "LinkEndpoint") -> None:
+        if self._endpoint is not None:
+            raise RuntimeError(f"interface {self.name} already attached to a link")
+        self._endpoint = endpoint
+
+    @property
+    def is_attached(self) -> bool:
+        return self._endpoint is not None
+
+    def send(self, packet: Packet) -> bool:
+        if self._endpoint is None:
+            raise RuntimeError(f"interface {self.name} is not attached to a link")
+        return self._endpoint.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += packet.size_bytes
+        self.node._on_receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Interface {self.node.name}.{self.name} {self.addresses}>"
+
+
+class Node:
+    """A host, router or middlebox in the simulated network."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        cpu_cores: int = 1,
+        cpu_scale: float = 1.0,
+        cost_model: CostModel | None = None,
+        forwarding: bool = False,
+    ) -> None:
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.sim = sim
+        self.name = name
+        self.cpu_scale = cpu_scale
+        self.cost_model = cost_model or CostModel()
+        self.forwarding = forwarding
+        self.interfaces: list[Interface] = []
+        self.routes = RouteTable()
+        self._protocol_handlers: dict[str, ProtocolHandler] = {}
+        self._output_shims: list[OutputShim] = []
+        self.cpu = Resource(sim, cpu_cores)
+        self.dropped_no_route = 0
+        self.dropped_no_handler = 0
+        self.dropped_ttl = 0
+        self.cpu_busy_seconds = 0.0
+
+    # -- configuration -----------------------------------------------------------
+    def add_interface(self, name: str, *addresses: IPAddress) -> Interface:
+        iface = Interface(self, name)
+        for addr in addresses:
+            iface.add_address(addr)
+        self.interfaces.append(iface)
+        return iface
+
+    def interface(self, name: str) -> Interface:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        raise KeyError(f"node {self.name} has no interface {name!r}")
+
+    def addresses(self, family: int | None = None) -> list[IPAddress]:
+        out = []
+        for iface in self.interfaces:
+            for addr in iface.addresses:
+                if family is None or addr.family == family:
+                    out.append(addr)
+        return out
+
+    def has_address(self, addr: IPAddress) -> bool:
+        return any(addr in iface.addresses for iface in self.interfaces)
+
+    def register_protocol(self, proto: str, handler: ProtocolHandler) -> None:
+        if proto in self._protocol_handlers:
+            raise ValueError(f"protocol {proto!r} already registered on {self.name}")
+        self._protocol_handlers[proto] = handler
+
+    def add_output_shim(self, shim: OutputShim) -> None:
+        """Install an output interceptor (runs before routing on local sends).
+
+        A shim returns a replacement packet to continue with, or ``None`` if
+        it consumed the packet (e.g. the HIP daemon queued it pending a base
+        exchange).
+        """
+        self._output_shims.append(shim)
+
+    # -- CPU model ----------------------------------------------------------------
+    def cpu_work(self, seconds: float) -> Generator:
+        """Process-generator that occupies one CPU slot for scaled ``seconds``.
+
+        Usage: ``yield from node.cpu_work(t)`` inside a process.
+        """
+        if seconds < 0:
+            raise ValueError("negative CPU work")
+        if seconds == 0:
+            return
+        req = self.cpu.request()
+        yield req
+        try:
+            scaled = seconds * self.cpu_scale
+            self.cpu_busy_seconds += scaled
+            yield self.sim.timeout(scaled)
+        finally:
+            self.cpu.release(req)
+
+    # -- sending --------------------------------------------------------------------
+    def send_ip(
+        self,
+        dst: IPAddress,
+        proto: str,
+        payload_packet: Packet,
+        src: IPAddress | None = None,
+        ttl: int = 64,
+        bypass_shims: bool = False,
+    ) -> bool:
+        """Wrap ``payload_packet`` in an IP header and route it out.
+
+        Returns False if the packet was dropped (no route / egress queue
+        full) or True if it was handed to a link or consumed by a shim.
+        """
+        if src is None:
+            src = self._pick_source(dst)
+            if src is None:
+                self.dropped_no_route += 1
+                return False
+        packet = payload_packet.pushed(IPHeader(src=src, dst=dst, proto=proto, ttl=ttl))
+        if not bypass_shims:
+            for shim in self._output_shims:
+                result = shim(self, packet)
+                if result is None:
+                    return True  # consumed by the shim
+                packet = result
+        return self._route_out(packet)
+
+    def _pick_source(self, dst: IPAddress) -> IPAddress | None:
+        iface = self.routes.lookup(dst)
+        if iface is not None:
+            for addr in iface.addresses:
+                if addr.family == dst.family:
+                    return addr
+        # No route (or unnumbered egress): fall back to any same-family
+        # address.  Output shims (HIP, Teredo) intercept before routing, so
+        # shim-handled destinations legitimately have no route entry.
+        for addr in self.addresses(dst.family):
+            return addr
+        return None
+
+    def _route_out(self, packet: Packet) -> bool:
+        ip = packet.outer
+        assert isinstance(ip, IPHeader)
+        if self.has_address(ip.dst):
+            # Loopback delivery stays inside the node.
+            self._dispatch_local(packet, None)
+            return True
+        iface = self.routes.lookup(ip.dst)
+        if iface is None or not iface.is_attached:
+            self.dropped_no_route += 1
+            return False
+        return iface.send(packet)
+
+    # -- receiving ---------------------------------------------------------------------
+    def _on_receive(self, packet: Packet, iface: Interface | None) -> None:
+        ip = packet.outer
+        if not isinstance(ip, IPHeader):
+            self.dropped_no_handler += 1
+            return
+        if self.has_address(ip.dst):
+            self._dispatch_local(packet, iface)
+            return
+        if self.forwarding:
+            self._forward(packet)
+            return
+        self.dropped_no_route += 1
+
+    def _dispatch_local(self, packet: Packet, iface: Interface | None) -> None:
+        ip = packet.outer
+        assert isinstance(ip, IPHeader)
+        handler = self._protocol_handlers.get(ip.proto)
+        if handler is None:
+            self.dropped_no_handler += 1
+            return
+        handler(self, packet, iface)  # type: ignore[arg-type]
+
+    def _forward(self, packet: Packet) -> None:
+        ip, inner = packet.popped()
+        assert isinstance(ip, IPHeader)
+        if ip.ttl <= 1:
+            self.dropped_ttl += 1
+            return
+        fresh = inner.pushed(
+            IPHeader(src=ip.src, dst=ip.dst, proto=ip.proto, ttl=ip.ttl - 1)
+        )
+        egress = self.routes.lookup(ip.dst)
+        if egress is None or not egress.is_attached:
+            self.dropped_no_route += 1
+            return
+        egress.send(fresh)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name}>"

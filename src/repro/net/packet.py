@@ -1,0 +1,193 @@
+"""Packet model: a stack of typed headers over a payload.
+
+Headers are small dataclasses; a packet's wire size is the sum of its
+headers' ``header_len`` plus the payload size.  Payloads are either real
+``bytes`` (used for control traffic and all unit tests) or a
+:class:`VirtualPayload` — a declared length without materialized bytes — so
+bulk-transfer experiments (iperf, HTTP bodies) don't burn host memory while
+still paying correct serialization, encryption and queueing costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+from repro.net.addresses import IPAddress
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class VirtualPayload:
+    """A payload of declared size whose bytes are never materialized."""
+
+    size: int
+    tag: str = ""  # optional marker for debugging/assertions
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("negative payload size")
+
+    def __len__(self) -> int:
+        return self.size
+
+
+# A payload is anything with a length: real bytes, a declared-size virtual
+# payload, a tunneled Packet, or protocol wrappers (e.g. ESP ciphertext).
+Payload = Union[bytes, VirtualPayload, "Packet"]
+
+
+@dataclass(frozen=True)
+class Header:
+    """Base class for protocol headers."""
+
+    @property
+    def header_len(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IPHeader(Header):
+    """IPv4 or IPv6 header (family follows the addresses)."""
+
+    src: IPAddress
+    dst: IPAddress
+    proto: str  # "tcp" | "udp" | "icmp" | "esp" | "hip"
+    ttl: int = 64
+
+    def __post_init__(self) -> None:
+        if self.src.family != self.dst.family:
+            raise ValueError("IP src/dst family mismatch")
+
+    @property
+    def family(self) -> int:
+        return self.src.family
+
+    @property
+    def header_len(self) -> int:
+        return 20 if self.family == 4 else 40
+
+
+@dataclass(frozen=True)
+class UDPHeader(Header):
+    src_port: int
+    dst_port: int
+
+    @property
+    def header_len(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class TCPHeader(Header):
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: frozenset[str] = frozenset()  # subset of {"SYN","ACK","FIN","RST"}
+    window: int = 65535
+
+    @property
+    def header_len(self) -> int:
+        return 20
+
+    def has(self, flag: str) -> bool:
+        return flag in self.flags
+
+
+@dataclass(frozen=True)
+class ICMPHeader(Header):
+    kind: str  # "echo-request" | "echo-reply"
+    ident: int
+    seq: int
+
+    @property
+    def header_len(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class ESPHeader(Header):
+    """ESP header+trailer accounting (SPI, sequence, IV, pad, ICV)."""
+
+    spi: int
+    seq: int
+    iv_len: int = 16
+    icv_len: int = 12  # HMAC-SHA1-96
+    pad_len: int = 0
+
+    @property
+    def header_len(self) -> int:
+        # SPI(4) + seq(4) + IV + pad + pad-len(1) + next-header(1) + ICV
+        return 4 + 4 + self.iv_len + self.pad_len + 2 + self.icv_len
+
+
+@dataclass(frozen=True)
+class HIPHeader(Header):
+    """HIP control-packet header marker; the payload is the serialized packet."""
+
+    packet_type: str  # "I1" | "R1" | "I2" | "R2" | "UPDATE" | "CLOSE" | ...
+
+    @property
+    def header_len(self) -> int:
+        return 40  # fixed HIP header: nexthdr..checksum + sender/receiver HITs
+
+
+def payload_len(payload: Payload) -> int:
+    return len(payload)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable packet: header stack (outermost first) + payload.
+
+    ``meta`` carries simulation-only annotations (timestamps, flow ids) that
+    do not contribute to the wire size.
+    """
+
+    headers: tuple[Header, ...]
+    payload: Payload = b""
+    meta: dict = field(default_factory=dict, compare=False)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids), compare=False)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(h.header_len for h in self.headers) + payload_len(self.payload)
+
+    @property
+    def outer(self) -> Header:
+        if not self.headers:
+            raise ValueError("packet has no headers")
+        return self.headers[0]
+
+    def find(self, header_type: type) -> Header | None:
+        """First header of the given type, outermost first."""
+        for h in self.headers:
+            if isinstance(h, header_type):
+                return h
+        return None
+
+    def pushed(self, header: Header) -> "Packet":
+        """New packet with ``header`` prepended (encapsulation)."""
+        return replace(self, headers=(header,) + self.headers)
+
+    def popped(self) -> tuple[Header, "Packet"]:
+        """Remove the outermost header; returns (header, inner packet)."""
+        if not self.headers:
+            raise ValueError("cannot pop from header-less packet")
+        return self.headers[0], replace(self, headers=self.headers[1:])
+
+    def with_meta(self, **kv) -> "Packet":
+        merged = dict(self.meta)
+        merged.update(kv)
+        return replace(self, meta=merged)
+
+    def __len__(self) -> int:
+        """Packets can be payloads of other packets (tunneling: ESP, Teredo)."""
+        return self.size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "/".join(type(h).__name__.replace("Header", "") for h in self.headers)
+        return f"<Packet#{self.packet_id} {names} {self.size_bytes}B>"

@@ -1,0 +1,57 @@
+"""Static routing with longest-prefix match.
+
+Routes map a destination prefix to an egress interface (links are
+point-to-point, so no ARP/next-hop resolution is needed: whatever is on the
+other end of the interface's link receives the packet and either consumes or
+forwards it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.net.addresses import IPAddress, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Interface
+
+
+@dataclass(frozen=True)
+class Route:
+    prefix: Prefix
+    interface: "Interface"
+
+
+class RouteTable:
+    """Longest-prefix-match table, per address family."""
+
+    def __init__(self) -> None:
+        self._routes: dict[int, list[Route]] = {4: [], 6: []}
+
+    def add(self, prefix: Prefix, interface: "Interface") -> None:
+        family = prefix.network.family
+        self._routes[family].append(Route(prefix, interface))
+        # Keep sorted by descending length so lookup can stop at first hit.
+        self._routes[family].sort(key=lambda r: -r.prefix.length)
+
+    def remove(self, prefix: Prefix, interface: "Interface | None" = None) -> int:
+        """Remove routes matching ``prefix`` (and iface, if given); returns count."""
+        family = prefix.network.family
+        before = len(self._routes[family])
+        self._routes[family] = [
+            r for r in self._routes[family]
+            if not (r.prefix == prefix and (interface is None or r.interface is interface))
+        ]
+        return before - len(self._routes[family])
+
+    def lookup(self, dst: IPAddress) -> "Interface | None":
+        for route in self._routes[dst.family]:
+            if route.prefix.contains(dst):
+                return route.interface
+        return None
+
+    def routes(self, family: int | None = None) -> list[Route]:
+        if family is None:
+            return self._routes[4] + self._routes[6]
+        return list(self._routes[family])

@@ -1,0 +1,602 @@
+"""Simplified TCP with Reno congestion control.
+
+Implements the behaviourally-relevant subset for the paper's experiments:
+
+* three-way handshake, FIN teardown, RST on unknown connections;
+* byte-stream transfer with MSS segmentation, cumulative ACKs, out-of-order
+  reassembly;
+* Reno congestion control: slow start, congestion avoidance, fast
+  retransmit on three duplicate ACKs, RTO with Jacobson/Karels estimation
+  and exponential backoff;
+* receiver flow control with a configurable advertised window — the iperf
+  experiment sets the paper's 85.3 KB / 16 KB windows explicitly.
+
+Segments carry either real bytes (all unit tests, HTTP control traffic) or
+:class:`~repro.net.packet.VirtualPayload` sizes (bulk benchmarks), and the
+stream machinery is agnostic between them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator
+
+from repro.net.addresses import IPAddress
+from repro.net.packet import Packet, Payload, TCPHeader, VirtualPayload
+from repro.sim.resources import Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Interface, Node
+
+DEFAULT_MSS = 1448  # bytes of payload per segment (Ethernet MTU - headers)
+DEFAULT_WINDOW = 65535
+MIN_RTO = 0.2
+MAX_RTO = 60.0
+
+
+class TcpError(Exception):
+    """Connection-level failure (reset, timeout, closed)."""
+
+
+def _slice_payload(payload: Payload, start: int, length: int) -> Payload:
+    if isinstance(payload, VirtualPayload):
+        return VirtualPayload(size=length, tag=payload.tag)
+    return payload[start : start + length]
+
+
+class TcpConnection:
+    """One TCP connection endpoint."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_addr: IPAddress,
+        local_port: int,
+        remote_addr: IPAddress,
+        remote_port: int,
+        mss: int = DEFAULT_MSS,
+        recv_window: int = DEFAULT_WINDOW,
+    ) -> None:
+        self.stack = stack
+        self.node = stack.node
+        self.sim = stack.node.sim
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.mss = mss
+        self.state = "CLOSED"
+
+        # --- send side ---
+        self.snd_una = 0  # oldest unacked sequence number
+        self.snd_nxt = 0  # next sequence number to send
+        self.snd_buf: deque[tuple[int, Payload]] = deque()  # (start_seq, chunk)
+        self.snd_buf_end = 1  # stream offsets live in seq space; SYN consumes 0
+        self.inflight: deque[dict] = deque()  # segments awaiting ACK
+        self.cwnd = 2 * mss
+        self.ssthresh = 64 * 1024 * 1024
+        self.peer_window = DEFAULT_WINDOW
+        self.dup_acks = 0
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.rto = 1.0
+        self._handshake_retx = 0
+        self._timer_gen = 0
+        self._fin_queued = False
+        self._fin_seq: int | None = None
+
+        # --- receive side ---
+        self.recv_window = recv_window
+        self.rcv_nxt = 0
+        self.ooo: dict[int, tuple[Payload, bool]] = {}  # seq -> (payload, fin)
+        self.rx = Queue(self.sim)
+        self._leftover: Payload | None = None  # partial chunk from recv_bytes
+        self._peer_fin_seen = False
+        # Delayed ACKs (RFC 1122): ack every 2nd in-order segment, or after
+        # the delayed-ack timer.
+        self._delack_pending = 0
+        self._delack_timer_armed = False
+
+        # --- connection lifecycle events ---
+        self._established_evt = self.sim.event()
+        self._closed_evt = self.sim.event()
+
+        # --- statistics ---
+        self.bytes_sent = 0
+        self.bytes_acked = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_retransmitted = 0
+
+    # -- public API ------------------------------------------------------------
+    @property
+    def established(self):
+        """Event that fires when the connection reaches ESTABLISHED."""
+        return self._established_evt
+
+    @property
+    def closed(self):
+        return self._closed_evt
+
+    def write(self, payload: Payload) -> None:
+        """Queue application data on the stream."""
+        if self.state not in ("ESTABLISHED", "SYN_SENT", "SYN_RCVD"):
+            raise TcpError(f"write on {self.state} connection")
+        if self._fin_queued:
+            raise TcpError("write after close")
+        if len(payload) == 0:
+            return
+        self.snd_buf.append((self.snd_buf_end, payload))
+        self.snd_buf_end += len(payload)
+        if self.state == "ESTABLISHED":
+            self._pump()
+
+    def recv(self):
+        """Event yielding the next in-order chunk (``b""`` signals EOF)."""
+        return self.rx.get()
+
+    def recv_bytes(self, n: int) -> Generator:
+        """Process-generator: accumulate exactly ``n`` stream bytes.
+
+        Consumes partial chunks (the remainder is buffered for the next
+        read).  Returns real bytes if every consumed piece was real, else a
+        VirtualPayload of the total.  Raises TcpError on EOF before ``n``.
+        """
+        got = 0
+        real_parts: list[bytes] = []
+        all_real = True
+        while got < n:
+            if self._leftover is not None:
+                chunk, self._leftover = self._leftover, None
+            else:
+                chunk = yield self.recv()
+            if isinstance(chunk, (bytes, bytearray)) and len(chunk) == 0:
+                raise TcpError(f"EOF after {got}/{n} bytes")
+            take = min(len(chunk), n - got)
+            if take < len(chunk):
+                if isinstance(chunk, VirtualPayload):
+                    self._leftover = VirtualPayload(len(chunk) - take, tag=chunk.tag)
+                    chunk = VirtualPayload(take, tag=chunk.tag)
+                else:
+                    self._leftover = bytes(chunk[take:])
+                    chunk = bytes(chunk[:take])
+            got += take
+            if isinstance(chunk, VirtualPayload):
+                all_real = False
+            else:
+                real_parts.append(bytes(chunk))
+        if all_real:
+            return b"".join(real_parts)
+        return VirtualPayload(size=n)
+
+    def close(self) -> None:
+        """Half-close: queue a FIN after any pending data."""
+        if self._fin_queued or self.state in ("CLOSED",):
+            return
+        self._fin_queued = True
+        self._fin_seq = self.snd_buf_end
+        if self.state == "ESTABLISHED":
+            self._pump()
+
+    def abort(self) -> None:
+        """Hard close: send RST and drop all state."""
+        if self.state != "CLOSED":
+            self._send_segment(flags=frozenset({"RST"}))
+            self._teardown(TcpError("connection reset locally"))
+
+    # -- connection setup ---------------------------------------------------------
+    def _start_connect(self) -> None:
+        self.state = "SYN_SENT"
+        self.snd_nxt = 1  # SYN consumes sequence 0
+        self.snd_una = 0
+        self._send_segment(flags=frozenset({"SYN"}), seq=0)
+        self._arm_timer()
+
+    def _start_accept(self) -> None:
+        self.state = "SYN_RCVD"
+        self.rcv_nxt = 1
+        self.snd_nxt = 1
+        self.snd_una = 0
+        self._send_segment(flags=frozenset({"SYN", "ACK"}), seq=0)
+        self._arm_timer()
+
+    # -- segment transmission -------------------------------------------------------
+    def _send_segment(
+        self,
+        flags: frozenset[str] = frozenset(),
+        seq: int | None = None,
+        payload: Payload = b"",
+        register_inflight: bool = False,
+    ) -> None:
+        header = TCPHeader(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_nxt if seq is None else seq,
+            ack=self.rcv_nxt,
+            flags=flags | frozenset({"ACK"}) if self.state != "SYN_SENT" or "SYN" not in flags else flags,
+            window=max(0, self.recv_window - self._rx_backlog()),
+        )
+        packet = Packet(headers=(header,), payload=payload)
+        self.node.send_ip(self.remote_addr, "tcp", packet, src=self.local_addr)
+        self.segments_sent += 1
+        if register_inflight:
+            self.inflight.append(
+                {
+                    "seq": header.seq,
+                    "len": len(payload) + (1 if "FIN" in flags or "SYN" in flags else 0),
+                    "payload": payload,
+                    "flags": flags,
+                    "sent_at": self.sim.now,
+                    "retx": 0,
+                }
+            )
+
+    def _rx_backlog(self) -> int:
+        return 0  # the rx queue is drained by the app; modeling backlog is out of scope
+
+    def _pump(self) -> None:
+        """Send as much queued data as the congestion/flow windows allow."""
+        window = min(self.cwnd, self.peer_window or self.mss)
+        while True:
+            available = self.snd_buf_end - self.snd_nxt
+            in_flight = self.snd_nxt - self.snd_una
+            room = window - in_flight
+            if available > 0 and room > 0:
+                want = min(self.mss, available, room)
+                payload = self._gather(self.snd_nxt, want)
+                # _gather may stop at a chunk boundary and return fewer
+                # bytes; advance by what was actually segmented.
+                seg_len = len(payload)
+                seq = self.snd_nxt
+                self.snd_nxt += seg_len
+                self.bytes_sent += seg_len
+                self._send_segment(payload=payload, seq=seq, register_inflight=True)
+                continue
+            if (
+                self._fin_queued
+                and self._fin_seq is not None
+                and self.snd_nxt == self._fin_seq
+                and available == 0
+                and self.state == "ESTABLISHED"
+            ):
+                self.state = "FIN_WAIT"
+                seq = self.snd_nxt
+                self.snd_nxt += 1
+                self._send_segment(flags=frozenset({"FIN"}), seq=seq, register_inflight=True)
+            break
+        if self.snd_una < self.snd_nxt:
+            self._arm_timer()
+
+    def _gather(self, seq: int, length: int) -> Payload:
+        """Extract ``length`` stream bytes starting at ``seq`` from the send buffer."""
+        # Drop chunks that are fully before the window base to bound memory.
+        while self.snd_buf and self.snd_buf[0][0] + len(self.snd_buf[0][1]) <= self.snd_una:
+            self.snd_buf.popleft()
+        for start, chunk in self.snd_buf:
+            if start <= seq < start + len(chunk):
+                take = min(length, start + len(chunk) - seq)
+                return _slice_payload(chunk, seq - start, take)
+        raise TcpError(f"send buffer does not cover seq {seq}")
+
+    # -- timers -----------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer_gen += 1
+        gen = self._timer_gen
+        self.sim.process(self._timer(gen), name=f"tcp-rto-{self.local_port}")
+
+    def _timer(self, gen: int) -> Generator:
+        yield self.sim.timeout(self.rto)
+        if gen != self._timer_gen or self.state == "CLOSED":
+            return
+        if self.snd_una >= self.snd_nxt and self.state in ("ESTABLISHED",):
+            return  # everything acked meanwhile
+        self._on_rto()
+
+    def _on_rto(self) -> None:
+        if self.state in ("SYN_SENT", "SYN_RCVD"):
+            self._handshake_retx += 1
+            if self._handshake_retx > 6:
+                self._teardown(TcpError("connection attempt timed out"))
+                return
+            if self.state == "SYN_SENT":
+                seg = {"seq": 0, "flags": frozenset({"SYN"}), "payload": b""}
+            else:
+                seg = {"seq": 0, "flags": frozenset({"SYN", "ACK"}), "payload": b""}
+        elif self.inflight:
+            entry = self.inflight[0]
+            entry["retx"] += 1
+            if entry["retx"] > 8:
+                self._teardown(TcpError("too many retransmissions"))
+                return
+            seg = entry
+        else:
+            return
+        # Exponential backoff + collapse the window (RFC 5681).
+        flight = max(self.snd_nxt - self.snd_una, self.mss)
+        self.ssthresh = max(flight // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.dup_acks = 0
+        self.rto = min(self.rto * 2, MAX_RTO)
+        self.segments_retransmitted += 1
+        self._send_segment(
+            flags=seg.get("flags", frozenset()), seq=seg["seq"], payload=seg.get("payload", b"")
+        )
+        self._arm_timer()
+
+    # -- inbound segment processing ------------------------------------------------------
+    def _on_segment(self, tcp: TCPHeader, payload: Payload) -> None:
+        if self.state == "CLOSED":
+            return
+        if tcp.has("RST"):
+            self._teardown(TcpError("connection reset by peer"))
+            return
+        self.peer_window = tcp.window
+
+        if self.state == "SYN_SENT":
+            if tcp.has("SYN") and tcp.has("ACK") and tcp.ack == 1:
+                self.rcv_nxt = 1
+                self.snd_una = 1
+                self.state = "ESTABLISHED"
+                self._send_segment()  # pure ACK completes the handshake
+                self._established_evt.succeed(self)
+                self._pump()
+            return
+
+        if self.state == "SYN_RCVD":
+            if tcp.has("ACK") and tcp.ack >= 1:
+                self.snd_una = 1
+                self.state = "ESTABLISHED"
+                self._established_evt.succeed(self)
+                self.stack._deliver_accept(self)
+                self._pump()
+            # fall through: the ACK may carry data too
+
+        if tcp.has("ACK"):
+            self._process_ack(tcp.ack)
+
+        seg_len = len(payload) + (1 if tcp.has("FIN") else 0)
+        if seg_len:
+            self._process_data(tcp.seq, payload, tcp.has("FIN"))
+
+    def _process_ack(self, ack: int) -> None:
+        if ack > self.snd_nxt:
+            return  # acks data we never sent; ignore
+        if ack > self.snd_una:
+            acked = ack - self.snd_una
+            self.snd_una = ack
+            self.bytes_acked += acked
+            self.dup_acks = 0
+            self.rto = min(max(self.rto, MIN_RTO), MAX_RTO)
+            # RTT sampling from the oldest newly-acked, non-retransmitted segment.
+            while self.inflight and self.inflight[0]["seq"] + self.inflight[0]["len"] <= ack:
+                entry = self.inflight.popleft()
+                if entry["retx"] == 0:
+                    self._update_rtt(self.sim.now - entry["sent_at"])
+            # Congestion window growth.
+            if self.cwnd < self.ssthresh:
+                self.cwnd += min(acked, self.mss)  # slow start
+            else:
+                self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # AIMD
+            if self.snd_una >= self.snd_nxt:
+                self._timer_gen += 1  # everything acked: cancel timer
+                if self.state == "FIN_WAIT" and self._fin_seq is not None and ack > self._fin_seq:
+                    self._maybe_finish()
+            else:
+                self._arm_timer()
+            self._pump()
+        elif ack == self.snd_una and self.snd_una < self.snd_nxt:
+            self.dup_acks += 1
+            if self.dup_acks == 3 and self.inflight:
+                # Fast retransmit.
+                entry = self.inflight[0]
+                entry["retx"] += 1
+                flight = max(self.snd_nxt - self.snd_una, self.mss)
+                self.ssthresh = max(flight // 2, 2 * self.mss)
+                self.cwnd = self.ssthresh
+                self.segments_retransmitted += 1
+                self._send_segment(
+                    flags=entry.get("flags", frozenset()),
+                    seq=entry["seq"],
+                    payload=entry.get("payload", b""),
+                )
+                self._arm_timer()
+
+    def _update_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(max(self.srtt + 4 * self.rttvar, MIN_RTO), MAX_RTO)
+
+    def _process_data(self, seq: int, payload: Payload, fin: bool) -> None:
+        if seq > self.rcv_nxt:
+            self.ooo[seq] = (payload, fin)
+            self._send_segment()  # dup ACK signals the gap
+            return
+        if seq + len(payload) + (1 if fin else 0) <= self.rcv_nxt:
+            self._send_segment()  # pure duplicate; re-ACK
+            return
+        # In-order (possibly with overlap, which our sender never produces).
+        had_ooo = bool(self.ooo)
+        self._accept_data(payload, fin)
+        # Pull any queued out-of-order continuations.
+        while self.rcv_nxt in self.ooo:
+            nxt_payload, nxt_fin = self.ooo.pop(self.rcv_nxt)
+            self._accept_data(nxt_payload, nxt_fin)
+        if fin or had_ooo:
+            self._ack_now()
+            return
+        self._delack_pending += 1
+        if self._delack_pending >= 2:
+            self._ack_now()
+        elif not self._delack_timer_armed:
+            self._delack_timer_armed = True
+            self.sim.process(self._delack_timer(), name="tcp-delack")
+
+    def _ack_now(self) -> None:
+        self._delack_pending = 0
+        self._send_segment()  # cumulative ACK
+
+    def _delack_timer(self) -> Generator:
+        yield self.sim.timeout(0.04)
+        self._delack_timer_armed = False
+        if self._delack_pending and self.state not in ("CLOSED",):
+            self._ack_now()
+
+    def _accept_data(self, payload: Payload, fin: bool) -> None:
+        if len(payload):
+            self.rcv_nxt += len(payload)
+            self.bytes_received += len(payload)
+            self.rx.try_put(payload)
+        if fin:
+            self.rcv_nxt += 1
+            self._peer_fin_seen = True
+            self.rx.try_put(b"")  # EOF marker
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        """Close fully once our FIN is acked and the peer's FIN arrived."""
+        ours_done = (
+            self._fin_seq is not None and self.snd_una > self._fin_seq
+        ) or not self._fin_queued
+        if self._peer_fin_seen and self._fin_queued and ours_done:
+            self._teardown(None)
+
+    def _teardown(self, error: TcpError | None) -> None:
+        if self.state == "CLOSED":
+            return
+        self.state = "CLOSED"
+        self._timer_gen += 1
+        self.stack._forget(self)
+        if not self._established_evt.triggered:
+            self._established_evt.fail(error or TcpError("closed before established"))
+        if not self._closed_evt.triggered:
+            self._closed_evt.succeed(error)
+        if error is not None:
+            self.rx.try_put(b"")  # unblock readers with EOF
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TcpConnection {self.local_addr}:{self.local_port} -> "
+            f"{self.remote_addr}:{self.remote_port} {self.state}>"
+        )
+
+
+class TcpListener:
+    """Passive socket: queue of established inbound connections."""
+
+    def __init__(self, stack: "TcpStack", port: int, recv_window: int, mss: int) -> None:
+        self.stack = stack
+        self.port = port
+        self.recv_window = recv_window
+        self.mss = mss
+        self.backlog = Queue(stack.node.sim, capacity=128)
+
+    def accept(self):
+        """Event yielding the next ESTABLISHED TcpConnection."""
+        return self.backlog.get()
+
+    def close(self) -> None:
+        self.stack._listeners.pop(self.port, None)
+
+
+class TcpStack:
+    """Per-node TCP engine."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self._connections: dict[tuple, TcpConnection] = {}
+        self._listeners: dict[int, TcpListener] = {}
+        self._next_ephemeral = 33000
+        node.register_protocol("tcp", self._on_packet)
+        self.rx_unmatched = 0
+
+    # -- API ----------------------------------------------------------------------
+    def listen(
+        self, port: int, recv_window: int = DEFAULT_WINDOW, mss: int = DEFAULT_MSS
+    ) -> TcpListener:
+        if port in self._listeners:
+            raise OSError(f"TCP port {port} already listening on {self.node.name}")
+        listener = TcpListener(self, port, recv_window, mss)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(
+        self,
+        remote_addr: IPAddress,
+        remote_port: int,
+        local_addr: IPAddress | None = None,
+        recv_window: int = DEFAULT_WINDOW,
+        mss: int = DEFAULT_MSS,
+    ) -> TcpConnection:
+        """Initiate a connection; wait on ``conn.established`` to use it."""
+        if local_addr is None:
+            local_addr = self.node._pick_source(remote_addr)
+            if local_addr is None:
+                raise TcpError(f"no route to {remote_addr}")
+        local_port = self._alloc_ephemeral()
+        conn = TcpConnection(
+            self, local_addr, local_port, remote_addr, remote_port,
+            mss=mss, recv_window=recv_window,
+        )
+        self._connections[self._key(local_port, remote_addr, remote_port)] = conn
+        conn._start_connect()
+        return conn
+
+    def open_connection(self, remote_addr: IPAddress, remote_port: int, **kw) -> Generator:
+        """Process-generator: connect and wait until established."""
+        conn = self.connect(remote_addr, remote_port, **kw)
+        yield conn.established
+        return conn
+
+    # -- internals ---------------------------------------------------------------------
+    @staticmethod
+    def _key(local_port: int, remote_addr: IPAddress, remote_port: int) -> tuple:
+        return (local_port, remote_addr.family, remote_addr.value, remote_port)
+
+    def _alloc_ephemeral(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = 33000
+        return port
+
+    def _forget(self, conn: TcpConnection) -> None:
+        self._connections.pop(
+            self._key(conn.local_port, conn.remote_addr, conn.remote_port), None
+        )
+
+    def _deliver_accept(self, conn: TcpConnection) -> None:
+        listener = self._listeners.get(conn.local_port)
+        if listener is not None:
+            listener.backlog.try_put(conn)
+
+    def _on_packet(self, node: "Node", packet: Packet, iface: "Interface | None") -> None:
+        ip, inner = packet.popped()
+        tcp, body = inner.popped()
+        assert isinstance(tcp, TCPHeader)
+        key = self._key(tcp.dst_port, ip.src, tcp.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn._on_segment(tcp, body.payload)
+            return
+        if tcp.has("SYN") and not tcp.has("ACK"):
+            listener = self._listeners.get(tcp.dst_port)
+            if listener is not None:
+                conn = TcpConnection(
+                    self, ip.dst, tcp.dst_port, ip.src, tcp.src_port,
+                    mss=listener.mss, recv_window=listener.recv_window,
+                )
+                self._connections[key] = conn
+                conn._start_accept()
+                return
+        self.rx_unmatched += 1
+        if not tcp.has("RST"):
+            # Refuse with RST, as a real stack would.
+            rst = TCPHeader(
+                src_port=tcp.dst_port, dst_port=tcp.src_port,
+                seq=tcp.ack, ack=tcp.seq, flags=frozenset({"RST"}),
+            )
+            node.send_ip(ip.src, "tcp", Packet(headers=(rst,)), src=ip.dst)

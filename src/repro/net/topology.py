@@ -1,0 +1,71 @@
+"""Small topology-building helpers shared by tests, examples and scenarios."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.addresses import IPAddress, Prefix, prefix
+from repro.net.link import Link
+from repro.net.node import Interface, Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+def wire(
+    sim: "Simulator",
+    node_a: Node,
+    node_b: Node,
+    addr_a: IPAddress | None = None,
+    addr_b: IPAddress | None = None,
+    bandwidth_bps: float = 1e9,
+    delay_s: float = 100e-6,
+    queue_packets: int = 256,
+    name: str = "",
+) -> tuple[Interface, Interface, Link]:
+    """Create a link between two nodes, adding one interface on each.
+
+    Interface names are auto-numbered ``eth0``, ``eth1``, ... per node.
+    """
+    link = Link(sim, bandwidth_bps=bandwidth_bps, delay_s=delay_s,
+                queue_packets=queue_packets, name=name)
+    iface_a = node_a.add_interface(f"eth{sum(i.name.startswith('eth') for i in node_a.interfaces)}")
+    iface_b = node_b.add_interface(f"eth{sum(i.name.startswith('eth') for i in node_b.interfaces)}")
+    if addr_a is not None:
+        iface_a.add_address(addr_a)
+    if addr_b is not None:
+        iface_b.add_address(addr_b)
+    link.connect(iface_a, iface_b)
+    return iface_a, iface_b, link
+
+
+def default_route(node: Node, iface: Interface) -> None:
+    """Point both v4 and v6 default routes at ``iface``."""
+    node.routes.add(prefix("0.0.0.0/0"), iface)
+    node.routes.add(prefix("::/0"), iface)
+
+
+def lan_pair(
+    sim: "Simulator",
+    name_a: str = "a",
+    name_b: str = "b",
+    subnet: str = "10.0.0.0/24",
+    bandwidth_bps: float = 1e9,
+    delay_s: float = 100e-6,
+    **node_kw,
+) -> tuple[Node, Node]:
+    """Two hosts on one subnet with routes both ways — the minimal testbed."""
+    from repro.net.addresses import ipv4
+
+    net = prefix(subnet)
+    base = net.network.value
+    node_a = Node(sim, name_a, **node_kw)
+    node_b = Node(sim, name_b, **node_kw)
+    iface_a, iface_b, _ = wire(
+        sim, node_a, node_b,
+        addr_a=ipv4(base + 1), addr_b=ipv4(base + 2),
+        bandwidth_bps=bandwidth_bps, delay_s=delay_s,
+    )
+    node_a.routes.add(net, iface_a)
+    node_b.routes.add(net, iface_b)
+    return node_a, node_b

@@ -1,0 +1,22 @@
+"""End-to-end experiment scenarios reproducing the paper's evaluation.
+
+:mod:`~repro.scenarios.rubis_cloud` builds the Figure-1 deployment (clients
+→ load balancer → web tier → database, in a public or private IaaS cloud)
+under any of the three security scenarios; :mod:`~repro.scenarios.experiments`
+runs each of the paper's measurements on top of it.
+"""
+
+from repro.scenarios.rubis_cloud import RubisDeployment, build_rubis_cloud
+from repro.scenarios.experiments import (
+    run_fig2_point,
+    run_fig3,
+    run_httperf_point,
+)
+
+__all__ = [
+    "RubisDeployment",
+    "build_rubis_cloud",
+    "run_fig2_point",
+    "run_fig3",
+    "run_httperf_point",
+]

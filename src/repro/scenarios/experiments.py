@@ -1,0 +1,246 @@
+"""Runners for each measurement in the paper's evaluation section.
+
+* :func:`run_fig2_point` — one cell of Figure 2: RUBiS throughput for a
+  given security mode and concurrent-client count (closed loop, no DB
+  cache).
+* :func:`run_httperf_point` — the §V-B response-time experiment: open-loop
+  120 req/s against a single web server with the query cache enabled.
+* :func:`run_fig3` — the iperf/RTT measurement between two VMs inside the
+  public cloud for the six addressing modes
+  {IPv4, HIT(IPv4), LSI(IPv4), Teredo, HIT(Teredo), LSI(Teredo)}.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.iperf import run_iperf
+from repro.apps.workload import ClosedLoopClients, OpenLoopGenerator, WorkloadResult
+from repro.cloud.iaas import PublicCloud
+from repro.cloud.tenant import Tenant
+from repro.hip.daemon import HipConfig, HipDaemon
+from repro.hip.identity import HostIdentity
+from repro.net.addresses import ipv4
+from repro.net.icmp import IcmpStack, ping
+from repro.net.node import Node
+from repro.net.tcp import TcpStack
+from repro.net.teredo import TeredoClient, TeredoServer
+from repro.net.udp import UdpStack
+from repro.scenarios.rubis_cloud import FRONTEND_PORT, build_rubis_cloud
+from repro.sim import RngStreams, Simulator
+
+
+# --------------------------------------------------------------------- Figure 2 --
+
+@dataclass
+class Fig2Point:
+    security: str
+    clients: int
+    throughput: float
+    mean_latency: float
+    successes: int
+    failures: int
+
+
+def run_fig2_point(
+    security: str,
+    n_clients: int,
+    seed: int = 42,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    provider_kind: str = "public",
+    timeout: float = 2.0,
+) -> Fig2Point:
+    """One (security, clients) cell of the Figure-2 sweep."""
+    dep = build_rubis_cloud(
+        seed=seed, security=security, provider_kind=provider_kind,
+        cache_enabled=False,
+    )
+    sim = dep.sim
+    workload = ClosedLoopClients(
+        dep.client_node, dep.client_tcp, dep.frontend_addr, FRONTEND_PORT,
+        n_clients=n_clients, rng=dep.rngs.stream("workload"),
+        timeout=timeout, warmup=warmup,
+    )
+    done = sim.process(workload.run(duration), name="fig2-workload")
+    result: WorkloadResult = sim.run(until=done)
+    return Fig2Point(
+        security=security, clients=n_clients,
+        throughput=result.throughput, mean_latency=result.mean_latency(),
+        successes=result.successes, failures=result.failures,
+    )
+
+
+# ----------------------------------------------------------- httperf (response time) --
+
+@dataclass
+class HttperfPoint:
+    security: str
+    rate: float
+    mean_ms: float
+    stdev_ms: float
+    p95_ms: float
+    successes: int
+    failures: int
+
+
+MICRO_BURST_SCALE = 1.25  # t1.micro at its 2-ECU burst rate
+
+
+def run_httperf_point(
+    security: str,
+    rate: float = 120.0,
+    seed: int = 42,
+    duration: float = 10.0,
+    provider_kind: str = "public",
+) -> HttperfPoint:
+    """§V-B: single web server, query cache on, fixed-rate open loop.
+
+    The run is short (seconds), so the micro web server operates at its
+    *burst* CPU rate ("up to 2 EC2 compute units") rather than the throttled
+    sustained rate the long Figure-2 runs experience — without the burst, a
+    single micro cannot absorb 120 req/s at all, while the paper measured a
+    stable 116–132 ms mean.
+    """
+    from repro.metrics.stats import describe
+
+    dep = build_rubis_cloud(
+        seed=seed, security=security, provider_kind=provider_kind,
+        n_web=1, cache_enabled=True, web_cpu_scale_override=MICRO_BURST_SCALE,
+    )
+    sim = dep.sim
+    # httperf drives one URI at a fixed rate; the paper's run targeted a
+    # dynamic page whose requests "almost always required a database
+    # connection" — the browse page fits that description.
+    generator = OpenLoopGenerator(
+        dep.client_node, dep.client_tcp, dep.frontend_addr, FRONTEND_PORT,
+        rate=rate, rng=dep.rngs.stream("httperf"), fixed_path="/browse",
+    )
+    done = sim.process(generator.run(duration), name="httperf")
+    result: WorkloadResult = sim.run(until=done)
+    latencies_ms = [s * 1e3 for s in result.latencies()]
+    summary = describe(latencies_ms)
+    return HttperfPoint(
+        security=security, rate=rate,
+        mean_ms=summary.mean, stdev_ms=summary.stdev, p95_ms=summary.p95,
+        successes=result.successes, failures=result.failures,
+    )
+
+
+# -------------------------------------------------------------------------- Figure 3 --
+
+FIG3_MODES = ("ipv4", "hit-ipv4", "lsi-ipv4", "teredo", "hit-teredo", "lsi-teredo")
+
+
+@dataclass
+class Fig3Point:
+    mode: str
+    throughput_mbps: float
+    rtt_ms: float
+
+
+def run_fig3(
+    modes: tuple[str, ...] = FIG3_MODES,
+    seed: int = 42,
+    transfer_bytes: int = 12_000_000,
+    ping_count: int = 20,
+    hip_rsa_bits: int = 1024,
+) -> list[Fig3Point]:
+    """Raw TCP throughput + ICMP RTT between two micro VMs in the cloud.
+
+    Each mode gets a fresh, identical deployment (like re-running iperf on
+    the same instance pair).  "teredo" modes run the flows over the VMs'
+    Teredo addresses; "hit"/"lsi" modes run them over HIP with the locator
+    family determined by the underlay (IPv4 or Teredo IPv6).
+    """
+    results = []
+    for mode in modes:
+        results.append(_run_fig3_mode(mode, seed, transfer_bytes, ping_count, hip_rsa_bits))
+    return results
+
+
+def _run_fig3_mode(
+    mode: str, seed: int, transfer_bytes: int, ping_count: int, hip_rsa_bits: int
+) -> Fig3Point:
+    sim = Simulator()
+    rngs = RngStreams(seed)
+    cloud = PublicCloud(sim)
+    # Spread the pair over two hosts so the path crosses the rack network,
+    # as the paper's inter-VM measurement did.
+    from repro.cloud.tenant import SpreadPlacement
+
+    cloud.placement = SpreadPlacement()
+    tenant = Tenant("bench")
+    vm_a = cloud.launch(tenant, "t1.micro", name="iperf-a")
+    vm_b = cloud.launch(tenant, "t1.micro", name="iperf-b")
+    tcp_a, tcp_b = TcpStack(vm_a), TcpStack(vm_b)
+    icmp_a, icmp_b = IcmpStack(vm_a), IcmpStack(vm_b)
+
+    needs_teredo = "teredo" in mode
+    needs_hip = mode.startswith(("hit", "lsi"))
+
+    teredo = {}
+    if needs_teredo:
+        # EC2 has no native IPv6 (§V-B), so v6 connectivity rides Teredo.
+        # The Teredo server lives outside the cloud.
+        server_node = Node(sim, "teredo-server")
+        udp_srv = UdpStack(server_node)
+        from repro.cloud.datacenter import Internet
+
+        internet = Internet(sim)
+        cloud.datacenter.attach_gateway(
+            internet.router, gateway_addr=ipv4("203.0.113.2"),
+            core_addr=ipv4("203.0.113.1"), delay_s=8e-3,
+        )
+        internet.attach(server_node, ipv4("203.0.113.50"), delay_s=4e-3)
+        TeredoServer(server_node, udp_srv)
+        for vm, key in ((vm_a, "a"), (vm_b, "b")):
+            udp = UdpStack(vm)
+            teredo[key] = TeredoClient(vm, udp, ipv4("203.0.113.50"))
+
+    daemons = {}
+    if needs_hip:
+        id_rng = rngs.stream("fig3-ident")
+        ident = {
+            "a": HostIdentity.generate(id_rng, "rsa", rsa_bits=hip_rsa_bits),
+            "b": HostIdentity.generate(id_rng, "rsa", rsa_bits=hip_rsa_bits),
+        }
+        cfg = HipConfig(real_crypto=False)
+        daemons["a"] = HipDaemon(vm_a, ident["a"], rng=rngs.stream("hipd-a"), config=cfg)
+        daemons["b"] = HipDaemon(vm_b, ident["b"], rng=rngs.stream("hipd-b"), config=cfg)
+
+    out: dict = {}
+
+    def main():
+        if needs_teredo:
+            addr_a = yield sim.process(teredo["a"].qualify())
+            addr_b = yield sim.process(teredo["b"].qualify())
+        else:
+            addr_a = vm_a.primary_address
+            addr_b = vm_b.primary_address
+
+        if needs_hip:
+            # Locators are the underlay addresses for this mode.
+            daemons["a"].add_peer(daemons["b"].hit, [addr_b])
+            daemons["b"].add_peer(daemons["a"].hit, [addr_a])
+            if mode.startswith("hit"):
+                target = daemons["b"].hit
+            else:
+                target = daemons["a"].lsi_for_peer(daemons["b"].hit)
+        else:
+            target = addr_b
+
+        rtts = yield sim.process(
+            ping(icmp_a, target, count=ping_count, interval=0.05)
+        )
+        good = [r for r in rtts if r is not None]
+        out["rtt"] = sum(good) / len(good) if good else float("nan")
+        iperf = yield sim.process(
+            run_iperf(tcp_b, tcp_a, target, n_bytes=transfer_bytes)
+        )
+        out["mbps"] = iperf.throughput_mbps
+
+    done = sim.process(main(), name=f"fig3-{mode}")
+    sim.run(until=done)
+    return Fig3Point(mode=mode, throughput_mbps=out["mbps"], rtt_ms=out["rtt"] * 1e3)

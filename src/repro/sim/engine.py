@@ -1,0 +1,152 @@
+"""The discrete-event simulator core: clock, event heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+from repro.sim.events import Event, Process, Timeout
+
+
+class StopProcess(Exception):
+    """Raised by ``Simulator.run(until=...)`` helpers to abort a run."""
+
+
+class SimTimeoutError(Exception):
+    """Raised when a wait exceeds its deadline (see :meth:`Simulator.with_deadline`)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Events scheduled for the same simulated time fire in the order they were
+    scheduled (FIFO via a monotonically increasing sequence number), which
+    makes whole-experiment runs bit-reproducible for a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event creation ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Any, Any, Any], name: str | None = None
+    ) -> Process:
+        """Register ``generator`` as a new process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"call_at into the past: {when} < {self._now}")
+        evt = Timeout(self, when - self._now)
+        evt.callbacks.append(lambda _e: fn())
+        return evt
+
+    # -- scheduling (internal) ------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    # -- run loop --------------------------------------------------------------
+    def step(self) -> None:
+        """Process one event from the heap."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = []  # type: ignore[assignment]
+        event._mark_processed()
+        for cb in callbacks:
+            cb(event)
+        if self._crashed:
+            proc, exc = self._crashed.pop()
+            raise RuntimeError(f"unhandled crash in process {proc.name!r}") from exc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+          * ``None`` — run until the event heap drains;
+          * a number — run until that absolute simulated time;
+          * an :class:`Event` — run until it fires, returning its value
+            (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise RuntimeError(
+                        "simulation starved: event heap drained before the "
+                        "awaited event fired (deadlock?)"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    # -- conveniences -----------------------------------------------------------
+    def with_deadline(
+        self, generator: Generator[Any, Any, Any], deadline: float
+    ) -> Generator[Any, Any, Any]:
+        """Wrap a process body so it fails with SimTimeoutError after ``deadline`` s.
+
+        Usage inside a process::
+
+            result = yield sim.process(sim.with_deadline(body(), 5.0))
+        """
+
+        def watchdog(target: Process) -> Generator[Any, Any, None]:
+            yield self.timeout(deadline)
+            if target.is_alive:
+                target.interrupt(SimTimeoutError(deadline))
+
+        def wrapper() -> Generator[Any, Any, Any]:
+            from repro.sim.events import Interrupt
+
+            target = self.process(generator)
+            self.process(watchdog(target))
+            try:
+                result = yield target
+            except Interrupt as exc:
+                if isinstance(exc.cause, SimTimeoutError):
+                    raise exc.cause from None
+                raise
+            return result
+
+        return wrapper()

@@ -1,0 +1,280 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a one-shot synchronization point.  Processes obtain
+events (directly, or via :class:`Timeout` / :class:`Process` handles) and
+``yield`` them; the simulator resumes the process when the event succeeds or
+fails.  Events carry an arbitrary ``value`` on success and an exception on
+failure, mirroring the familiar future/promise contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+PENDING = "pending"
+TRIGGERED = "triggered"  # scheduled for processing, outcome decided
+PROCESSED = "processed"  # callbacks have run
+
+
+class Event:
+    """One-shot event that processes can wait on.
+
+    State machine: ``pending`` -> ``triggered`` (via :meth:`succeed` or
+    :meth:`fail`) -> ``processed`` (after the simulator runs callbacks).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool | None = None
+        self._state = PENDING
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise RuntimeError("event outcome not decided yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise RuntimeError("event value not available yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks now."""
+        if self._state != PENDING:
+            raise RuntimeError(f"event already {self._state}")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiters will see ``exception`` raised."""
+        if self._state != PENDING:
+            raise RuntimeError(f"event already {self._state}")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = PROCESSED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """Event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that fires when the generator returns
+    (success, with the return value) or raises (failure).  This lets
+    processes wait for each other simply by yielding the process handle.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process target must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        twice before it runs again queues both interrupts.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt dead process {self.name!r}")
+        evt = Event(self.sim)
+        evt.callbacks.append(self._deliver_interrupt)
+        evt.fail(Interrupt(cause))
+
+    def _deliver_interrupt(self, evt: Event) -> None:
+        if not self.is_alive:
+            return  # process finished in the meantime; drop the interrupt
+        target = self._waiting_on
+        if target is not None:
+            in_list_remove(target.callbacks, self._resume)
+            self._waiting_on = None
+        self._step(throw=evt._value)
+
+    def _resume(self, evt: Event) -> None:
+        self._waiting_on = None
+        if evt._ok:
+            self._step(send=evt._value)
+        else:
+            self._step(throw=evt._value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as exc:
+            sim._active_process = None
+            self.succeed(exc.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            if not self.callbacks:
+                # Nobody is waiting on this process: surface the crash.
+                sim._crashed.append((self, exc))
+            return
+        finally:
+            sim._active_process = None
+
+        if not isinstance(target, Event):
+            err = TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (Timeout, Event, Process, ...)"
+            )
+            self._step(throw=err)
+            return
+        if target.processed:
+            # Already fired: resume immediately at the current time.
+            follow = Event(self.sim)
+            follow.callbacks.append(self._resume)
+            if target._ok:
+                follow.succeed(target._value)
+            else:
+                follow._ok = False
+                follow._value = target._value
+                follow._state = TRIGGERED
+                self.sim._schedule(follow, delay=0.0)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+def in_list_remove(lst: list, item: Any) -> bool:
+    """Remove ``item`` from ``lst`` if present; return whether it was there."""
+    try:
+        lst.remove(item)
+        return True
+    except ValueError:
+        return False
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for evt in self.events:
+            if evt.processed:
+                self._on_fire(evt)
+            else:
+                evt.callbacks.append(self._on_fire)
+
+    def _on_fire(self, evt: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ()
+
+    def _on_fire(self, evt: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not evt._ok:
+            self.fail(evt._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _on_fire(self, evt: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not evt._ok:
+            self.fail(evt._value)
+            return
+        self.succeed((evt, evt._value))

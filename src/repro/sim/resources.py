@@ -1,0 +1,136 @@
+"""Shared resources for simulation processes: FIFO queues and counted resources.
+
+These are the primitives the application substrates build on — a web server's
+worker pool is a :class:`Resource`, a NIC transmit buffer or a server's accept
+backlog is a :class:`Queue`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class QueueFullError(Exception):
+    """Raised (or used to fail put events) when a bounded queue overflows."""
+
+
+class Queue:
+    """FIFO queue between processes.
+
+    ``put`` is immediate (and fails the returned event if the queue is
+    bounded and full — modeling drop-tail behaviour); ``get`` returns an
+    event that fires when an item is available.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.dropped = 0  # count of rejected puts, for loss statistics
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (and counts a drop) if full."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            return True
+        if self.is_full:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def put(self, item: Any) -> Event:
+        """Put returning an event: succeeds now, or fails with QueueFullError."""
+        evt = self.sim.event()
+        if self.try_put(item):
+            evt.succeed(item)
+        else:
+            evt.fail(QueueFullError(f"queue full (capacity={self.capacity})"))
+        return evt
+
+    def get(self) -> Event:
+        """Event that fires with the next item (FIFO across waiters)."""
+        evt = self.sim.event()
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class Resource:
+    """Counted resource with FIFO waiting (e.g. a pool of server workers).
+
+    Usage inside a process::
+
+        req = pool.request()
+        yield req
+        try:
+            ... hold the resource ...
+        finally:
+            pool.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        evt = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            evt.succeed(evt)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self, request: Event) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release without matching request")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed(nxt)  # hand the slot directly to the next waiter
+        else:
+            self._in_use -= 1
+
+    def cancel(self, request: Event) -> bool:
+        """Withdraw a queued (not yet granted) request; returns True if removed."""
+        try:
+            self._waiters.remove(request)
+            return True
+        except ValueError:
+            return False

@@ -1,0 +1,25 @@
+"""TLS 1.2-style baseline ("SSL" in the paper's terminology).
+
+The paper compares HIP against OpenSSL-based SSL connections (OpenVPN's
+substrate).  This package implements the comparable subset: an RSA
+key-transport handshake with session resumption, and an AES-CBC +
+HMAC-SHA1 record layer — deliberately the *same* symmetric algorithms as
+our ESP transform, because the paper's central performance claim is that
+HIP and SSL cost the same once the key exchange is done.
+"""
+
+from repro.tls.connection import (
+    TlsConnection,
+    TlsError,
+    TlsServerContext,
+    tls_client_handshake,
+    tls_server_handshake,
+)
+
+__all__ = [
+    "TlsConnection",
+    "TlsError",
+    "TlsServerContext",
+    "tls_client_handshake",
+    "tls_server_handshake",
+]

@@ -1,0 +1,329 @@
+"""OpenVPN-style SSL tunnels — the paper's "SSL" comparison point.
+
+§V-A: "One of the popular alternatives, OpenVPN uses OpenSSL and hence SSL
+was used as an alternative to compare the performance of HIP."  OpenVPN is
+a *tunnel*: a TLS handshake keys the tunnel once per peer pair, then every
+IP packet is protected by the TLS record transform and carried over UDP.
+Structurally this parallels HIP exactly — asymmetric crypto at setup,
+symmetric per-packet cost afterwards — which is precisely the comparison
+the paper draws.
+
+:class:`SslVpnDaemon` mirrors :class:`~repro.hip.daemon.HipDaemon`: each
+node gets a tunnel address from the VPN subnet (``10.8.0.0/24``, OpenVPN's
+default); an output shim intercepts packets to tunnel addresses, runs the
+handshake on first use, then charges the TLS record cost per packet and
+ships ``IP | VPN-record | inner`` to the peer's locator.  The handshake
+really performs the RSA operations (encrypt/decrypt of a premaster against
+the peer's key) so its cost structure is honest; the data plane is
+cost-accounted like HIP's virtual path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.crypto.costmodel import CryptoMeter
+from repro.crypto.hmac_kdf import tls_prf
+from repro.crypto.rsa import RsaError, RsaKeyPair
+from repro.net.addresses import IPAddress, Prefix, prefix
+from repro.net.packet import Header, IPHeader, Packet
+from repro.sim.resources import Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+VPN_SUBNET = prefix("10.8.0.0/24")
+HANDSHAKE_RETRIES = 4
+RETRY_BASE_S = 0.5
+
+
+@dataclass(frozen=True)
+class VpnRecordHeader(Header):
+    """Per-packet tunnel overhead: record header + IV + MAC + pad + UDP encap."""
+
+    seq: int
+    pad_len: int = 8
+
+    @property
+    def header_len(self) -> int:
+        # 5 (record) + 16 (IV) + 20 (MAC) + pad + 8 (UDP) — OpenVPN rides UDP.
+        return 5 + 16 + 20 + self.pad_len + 8
+
+
+@dataclass
+class Tunnel:
+    peer_vpn: IPAddress
+    locator: IPAddress
+    state: str = "NEW"  # NEW -> HELLO-SENT -> ESTABLISHED / FAILED
+    role: str = "client"
+    master_secret: bytes = b""
+    seq_out: int = 0
+    queued: list[Packet] = field(default_factory=list)
+    established_evt: object = None
+
+    @property
+    def is_established(self) -> bool:
+        return self.state == "ESTABLISHED"
+
+
+class VpnError(Exception):
+    """Tunnel establishment failure."""
+
+
+class SslVpnDaemon:
+    """Per-host OpenVPN-like engine."""
+
+    def __init__(
+        self,
+        node: "Node",
+        vpn_addr: IPAddress,
+        keypair: RsaKeyPair,
+        rng: random.Random,
+        charge_costs: bool = True,
+        queue_limit: int = 64,
+    ) -> None:
+        if not VPN_SUBNET.contains(vpn_addr):
+            raise ValueError(f"{vpn_addr} is outside the VPN subnet {VPN_SUBNET}")
+        self.node = node
+        self.sim = node.sim
+        self.vpn_addr = vpn_addr
+        self.keypair = keypair
+        self.rng = rng
+        self.charge_costs = charge_costs
+        self.queue_limit = queue_limit
+        self.meter = CryptoMeter()
+
+        iface = node.add_interface("tun0")
+        iface.add_address(vpn_addr)
+        node.routes.add(VPN_SUBNET, iface)
+        node.add_output_shim(self._output_shim)
+        node.register_protocol("sslvpn", self._on_packet)
+
+        # peer vpn address -> (locator, peer public key)
+        self.peers: dict[IPAddress, tuple[IPAddress, object]] = {}
+        self.tunnels: dict[IPAddress, Tunnel] = {}
+        self._tx = Queue(self.sim)
+        self._rx = Queue(self.sim)
+        self.sim.process(self._tx_worker(), name=f"vpn-tx-{node.name}")
+        self.sim.process(self._rx_worker(), name=f"vpn-rx-{node.name}")
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.drops = 0
+
+    # -- configuration -------------------------------------------------------
+    def add_peer(self, peer_vpn: IPAddress, locator: IPAddress, public_key) -> None:
+        self.peers[peer_vpn] = (locator, public_key)
+
+    def connect(self, peer_vpn: IPAddress, timeout: float = 30.0) -> Generator:
+        """Process-generator: ensure the tunnel to ``peer_vpn`` is up."""
+        tunnel = self._ensure_tunnel(peer_vpn)
+        if tunnel.is_established:
+            return tunnel
+        if tunnel.state == "FAILED":
+            tunnel = self._restart_tunnel(peer_vpn)
+        if tunnel.state == "NEW":
+            self._start_handshake(tunnel)
+        from repro.sim.events import AnyOf
+
+        deadline = self.sim.timeout(timeout)
+        winner, value = yield AnyOf(self.sim, [tunnel.established_evt, deadline])
+        if winner is deadline:
+            raise VpnError(f"tunnel to {peer_vpn} timed out")
+        return value
+
+    # -- data path --------------------------------------------------------------
+    def _output_shim(self, node: "Node", packet: Packet) -> Packet | None:
+        ip = packet.outer
+        if not isinstance(ip, IPHeader):
+            return packet
+        if VPN_SUBNET.contains(ip.dst) and ip.dst != self.vpn_addr:
+            self._tx.try_put(packet)
+            return None
+        return packet
+
+    def _tx_worker(self) -> Generator:
+        while True:
+            packet = yield self._tx.get()
+            ip = packet.outer
+            assert isinstance(ip, IPHeader)
+            tunnel = self._ensure_tunnel(ip.dst)
+            if tunnel.state == "FAILED":
+                tunnel = self._restart_tunnel(ip.dst)
+            if not tunnel.is_established:
+                if len(tunnel.queued) < self.queue_limit:
+                    tunnel.queued.append(packet)
+                if tunnel.state == "NEW":
+                    self._start_handshake(tunnel)
+                continue
+            yield from self._protect_and_send(tunnel, packet)
+
+    def _protect_and_send(self, tunnel: Tunnel, packet: Packet) -> Generator:
+        cm = self.node.cost_model
+        cost = cm.tls_record_cost(packet.size_bytes)
+        self.meter.charge("vpn.record.out", cost)
+        if self.charge_costs:
+            yield from self.node.cpu_work(cost)
+        tunnel.seq_out += 1
+        pad = (-(packet.size_bytes + 21)) % 16 + 1
+        wire = Packet(
+            headers=(VpnRecordHeader(seq=tunnel.seq_out, pad_len=pad),),
+            payload=packet,
+        ).with_meta(vpn_src=self.vpn_addr)
+        self.packets_sent += 1
+        self.node.send_ip(tunnel.locator, "sslvpn", wire)
+
+    def _on_packet(self, node: "Node", packet: Packet, iface) -> None:
+        self._rx.try_put(packet)
+
+    def _rx_worker(self) -> Generator:
+        while True:
+            packet = yield self._rx.get()
+            kind = packet.meta.get("vpn_ctl")
+            if kind is not None:
+                yield from self._handle_control(packet)
+                continue
+            ip, rest = packet.popped()
+            record, body = rest.popped()
+            if not isinstance(record, VpnRecordHeader) or not isinstance(body.payload, Packet):
+                self.drops += 1
+                continue
+            peer_vpn = packet.meta.get("vpn_src")
+            tunnel = self.tunnels.get(peer_vpn)
+            if tunnel is None or not tunnel.is_established:
+                self.drops += 1
+                continue
+            inner = body.payload
+            cm = self.node.cost_model
+            cost = cm.tls_record_cost(inner.size_bytes)
+            self.meter.charge("vpn.record.in", cost)
+            if self.charge_costs:
+                yield from self.node.cpu_work(cost)
+            self.packets_received += 1
+            self.node._on_receive(self._rebuild_inner(inner, peer_vpn), None)
+
+    def _rebuild_inner(self, inner: Packet, peer_vpn: IPAddress) -> Packet:
+        if inner.headers and isinstance(inner.outer, IPHeader):
+            old_ip, transport = inner.popped()
+            proto = old_ip.proto
+        else:
+            transport = inner
+            proto = "raw"
+        return transport.pushed(
+            IPHeader(src=peer_vpn, dst=self.vpn_addr, proto=proto)
+        )
+
+    # -- handshake -----------------------------------------------------------------
+    def _ensure_tunnel(self, peer_vpn: IPAddress) -> Tunnel:
+        tunnel = self.tunnels.get(peer_vpn)
+        if tunnel is None:
+            info = self.peers.get(peer_vpn)
+            locator = info[0] if info else None
+            tunnel = Tunnel(
+                peer_vpn=peer_vpn, locator=locator,  # type: ignore[arg-type]
+                established_evt=self.sim.event(),
+            )
+            self.tunnels[peer_vpn] = tunnel
+        return tunnel
+
+    def _restart_tunnel(self, peer_vpn: IPAddress) -> Tunnel:
+        self.tunnels.pop(peer_vpn, None)
+        return self._ensure_tunnel(peer_vpn)
+
+    def _fail(self, tunnel: Tunnel, error: Exception) -> None:
+        tunnel.state = "FAILED"
+        tunnel.queued.clear()
+        evt = tunnel.established_evt
+        if evt is not None and not evt.triggered:  # type: ignore[attr-defined]
+            evt.fail(error)  # type: ignore[attr-defined]
+
+    def _send_control(self, tunnel: Tunnel, kind: str, body: bytes) -> None:
+        if tunnel.locator is None:
+            self._fail(tunnel, VpnError(f"no locator for {tunnel.peer_vpn}"))
+            return
+        ctl = Packet(headers=(), payload=body).with_meta(
+            vpn_ctl=kind, vpn_src=self.vpn_addr,
+        )
+        self.node.send_ip(tunnel.locator, "sslvpn", ctl)
+
+    def _start_handshake(self, tunnel: Tunnel) -> None:
+        info = self.peers.get(tunnel.peer_vpn)
+        if info is None:
+            self._fail(tunnel, VpnError(f"unknown VPN peer {tunnel.peer_vpn}"))
+            return
+        tunnel.locator = info[0]
+        tunnel.state = "HELLO-SENT"
+        tunnel.role = "client"
+        self.sim.process(self._client_handshake(tunnel), name=f"vpn-hs-{self.node.name}")
+
+    def _client_handshake(self, tunnel: Tunnel) -> Generator:
+        info = self.peers[tunnel.peer_vpn]
+        peer_key = info[1]
+        cm = self.node.cost_model
+        # ClientHello -> (retransmitted until ServerHello arrives).
+        client_random = self.rng.getrandbits(256).to_bytes(32, "big")
+        self._send_control(tunnel, "hello", client_random)
+        # Premaster, really RSA-encrypted against the peer's public key.
+        premaster = self.rng.getrandbits(384).to_bytes(48, "big")
+        yield from self._charge("vpn.asym.encrypt", cm.rsa_verify(peer_key.bits))
+        encrypted = peer_key.encrypt(premaster, self.rng)
+        yield from self._charge("vpn.asym.verify_cert", cm.rsa_verify(peer_key.bits))
+        self._send_control(tunnel, "key", client_random + encrypted)
+        tunnel.master_secret = tls_prf(premaster, b"vpn master", client_random, 48)
+        # Wait for the server's finished (retry the key message on timeout).
+        for attempt in range(HANDSHAKE_RETRIES):
+            yield self.sim.timeout(RETRY_BASE_S * (2**attempt))
+            if tunnel.is_established or tunnel.state == "FAILED":
+                return
+            self._send_control(tunnel, "key", client_random + encrypted)
+        if not tunnel.is_established:
+            self._fail(tunnel, VpnError("handshake retransmissions exhausted"))
+
+    def _handle_control(self, packet: Packet) -> Generator:
+        kind = packet.meta["vpn_ctl"]
+        peer_vpn = packet.meta["vpn_src"]
+        cm = self.node.cost_model
+        if kind == "key":
+            body = packet.payload
+            if not isinstance(body, (bytes, bytearray)):
+                return
+            client_random = bytes(body[:32])
+            encrypted = bytes(body[32:])
+            yield from self._charge("vpn.asym.decrypt", cm.rsa_sign(self.keypair.public.bits))
+            try:
+                premaster = self.keypair.decrypt(encrypted)
+            except RsaError:
+                return
+            tunnel = self._ensure_tunnel(peer_vpn)
+            if tunnel.locator is None and peer_vpn in self.peers:
+                tunnel.locator = self.peers[peer_vpn][0]
+            tunnel.role = "server"
+            tunnel.master_secret = tls_prf(premaster, b"vpn master", client_random, 48)
+            tunnel.state = "ESTABLISHED"
+            if not tunnel.established_evt.triggered:  # type: ignore[attr-defined]
+                tunnel.established_evt.succeed(tunnel)  # type: ignore[attr-defined]
+            self._send_control(tunnel, "finished", tunnel.master_secret[:12])
+            return
+        if kind == "finished":
+            tunnel = self.tunnels.get(peer_vpn)
+            if tunnel is None or tunnel.state != "HELLO-SENT":
+                return
+            body = packet.payload
+            if not isinstance(body, (bytes, bytearray)) or (
+                bytes(body) != tunnel.master_secret[:12]
+            ):
+                return  # verify_data mismatch: ignore (attacker or corruption)
+            tunnel.state = "ESTABLISHED"
+            if not tunnel.established_evt.triggered:  # type: ignore[attr-defined]
+                tunnel.established_evt.succeed(tunnel)  # type: ignore[attr-defined]
+            queued, tunnel.queued = tunnel.queued, []
+            for pkt in queued:
+                yield from self._protect_and_send(tunnel, pkt)
+            return
+        # "hello" needs no state on the server (the key message carries all).
+
+    def _charge(self, kind: str, cost: float) -> Generator:
+        self.meter.charge(kind, cost)
+        if self.charge_costs:
+            yield from self.node.cpu_work(cost)

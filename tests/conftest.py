@@ -1,0 +1,69 @@
+"""Shared fixtures: deterministic RNGs, simulators, wired topologies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hip.daemon import HipConfig, HipDaemon
+from repro.hip.identity import HostIdentity
+from repro.net.addresses import ipv4
+from repro.net.icmp import IcmpStack
+from repro.net.tcp import TcpStack
+from repro.net.topology import lan_pair
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xDECAF)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def lan(sim):
+    """Two hosts on one subnet: (sim, node_a, node_b)."""
+    a, b = lan_pair(sim, "a", "b")
+    return sim, a, b
+
+
+@pytest.fixture(scope="session")
+def session_identities():
+    """RSA-512 host identities, generated once per test session (keygen is slow)."""
+    gen = random.Random(0x1D54)
+    return {
+        "a": HostIdentity.generate(gen, "rsa", rsa_bits=512),
+        "b": HostIdentity.generate(gen, "rsa", rsa_bits=512),
+        "c": HostIdentity.generate(gen, "rsa", rsa_bits=512),
+        "ecdsa": HostIdentity.generate(gen, "ecdsa"),
+    }
+
+
+@pytest.fixture
+def hip_pair(sim, session_identities):
+    """Two HIP-enabled hosts with peer mappings installed.
+
+    Returns (sim, node_a, node_b, daemon_a, daemon_b).
+    """
+    a, b = lan_pair(sim, "a", "b")
+    da = HipDaemon(a, session_identities["a"], rng=random.Random(11))
+    db = HipDaemon(b, session_identities["b"], rng=random.Random(22))
+    da.add_peer(db.hit, [ipv4("10.0.0.2")])
+    db.add_peer(da.hit, [ipv4("10.0.0.1")])
+    return sim, a, b, da, db
+
+
+def run_proc(sim: Simulator, generator, until: float = 60.0):
+    """Drive one process to completion; returns its value."""
+    proc = sim.process(generator)
+    return sim.run(until=proc)
+
+
+@pytest.fixture
+def drive():
+    return run_proc

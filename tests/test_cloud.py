@@ -1,0 +1,197 @@
+"""Cloud substrate tests: instance types, placement, datacenter, providers."""
+
+import pytest
+
+from repro.cloud.datacenter import Datacenter, DatacenterParams, Internet
+from repro.cloud.hypervisor import CapacityError, PhysicalHost
+from repro.cloud.iaas import PrivateCloud, PublicCloud
+from repro.cloud.tenant import (
+    PackPlacement,
+    SpreadPlacement,
+    Tenant,
+    TenantAffinityPlacement,
+)
+from repro.cloud.vm import INSTANCE_TYPES, VirtualMachine
+from repro.net.addresses import ipv4, prefix
+from repro.net.icmp import IcmpStack, ping
+from repro.sim import Simulator
+
+
+class TestInstanceTypes:
+    def test_catalog(self):
+        assert "t1.micro" in INSTANCE_TYPES and "m1.large" in INSTANCE_TYPES
+        micro = INSTANCE_TYPES["t1.micro"]
+        large = INSTANCE_TYPES["m1.large"]
+        assert micro.memory_mb == 613  # the paper's number
+        assert large.memory_mb == 7680
+        # micro is slower per unit work than large.
+        assert micro.cpu_scale > large.cpu_scale
+
+    def test_vm_inherits_cpu_model(self, sim):
+        vm = VirtualMachine(sim, "v", INSTANCE_TYPES["m1.large"], Tenant("t"))
+        assert vm.cpu.capacity == 2
+        assert vm.cpu_scale == 0.9
+
+
+class TestPhysicalHost:
+    def test_attach_assigns_address_and_routes(self, sim):
+        host = PhysicalHost(sim, "h", guest_subnet=prefix("10.0.1.0/24"))
+        vm = VirtualMachine(sim, "v", INSTANCE_TYPES["t1.micro"], Tenant("t"))
+        addr = host.attach_vm(vm)
+        assert prefix("10.0.1.0/24").contains(addr)
+        assert vm.state == "running"
+        assert vm.host is host
+        assert vm.primary_address == addr
+
+    def test_memory_capacity_enforced(self, sim):
+        host = PhysicalHost(sim, "h", guest_subnet=prefix("10.0.1.0/24"),
+                            memory_mb=1000)
+        t = Tenant("t")
+        host.attach_vm(VirtualMachine(sim, "v1", INSTANCE_TYPES["t1.micro"], t))
+        with pytest.raises(CapacityError):
+            host.attach_vm(VirtualMachine(sim, "v2", INSTANCE_TYPES["m1.large"], t))
+
+    def test_detach_releases_resources(self, sim):
+        host = PhysicalHost(sim, "h", guest_subnet=prefix("10.0.1.0/24"))
+        vm = VirtualMachine(sim, "v", INSTANCE_TYPES["t1.micro"], Tenant("t"))
+        addr = host.attach_vm(vm)
+        used = host.memory_used_mb
+        host.detach_vm(vm)
+        assert host.memory_used_mb == used - 613
+        assert vm.host is None
+        assert host.routes.lookup(addr) is None
+
+    def test_vm_to_vm_on_same_host(self, sim, drive):
+        host = PhysicalHost(sim, "h", guest_subnet=prefix("10.0.1.0/24"))
+        t = Tenant("t")
+        vm1 = VirtualMachine(sim, "v1", INSTANCE_TYPES["t1.micro"], t)
+        vm2 = VirtualMachine(sim, "v2", INSTANCE_TYPES["t1.micro"], t)
+        host.attach_vm(vm1)
+        addr2 = host.attach_vm(vm2)
+        icmp1, _ = IcmpStack(vm1), IcmpStack(vm2)
+        rtts = drive(sim, ping(icmp1, addr2, count=2, interval=0.01))
+        assert all(r is not None for r in rtts)
+
+    def test_tenants_tracked(self, sim):
+        host = PhysicalHost(sim, "h", guest_subnet=prefix("10.0.1.0/24"))
+        host.attach_vm(VirtualMachine(sim, "v1", INSTANCE_TYPES["t1.micro"],
+                                      Tenant("acme")))
+        host.attach_vm(VirtualMachine(sim, "v2", INSTANCE_TYPES["t1.micro"],
+                                      Tenant("rival")))
+        assert host.tenants() == {"acme", "rival"}
+
+
+class TestPlacement:
+    def _hosts(self, sim, n=3):
+        return [
+            PhysicalHost(sim, f"h{i}", guest_subnet=prefix(f"10.0.{i + 1}.0/24"),
+                         memory_mb=2000)
+            for i in range(n)
+        ]
+
+    def test_pack_fills_first_host(self, sim):
+        hosts = self._hosts(sim)
+        policy = PackPlacement()
+        t = Tenant("t")
+        for i in range(3):
+            vm = VirtualMachine(sim, f"v{i}", INSTANCE_TYPES["t1.micro"], t)
+            host = policy.place(vm, hosts)
+            host.attach_vm(vm)
+        assert len(hosts[0].vms) == 3
+        assert len(hosts[1].vms) == 0
+
+    def test_spread_balances(self, sim):
+        hosts = self._hosts(sim)
+        policy = SpreadPlacement()
+        t = Tenant("t")
+        for i in range(3):
+            vm = VirtualMachine(sim, f"v{i}", INSTANCE_TYPES["t1.micro"], t)
+            policy.place(vm, hosts).attach_vm(vm)
+        assert [len(h.vms) for h in hosts] == [1, 1, 1]
+
+    def test_affinity_groups_tenant(self, sim):
+        hosts = self._hosts(sim)
+        policy = TenantAffinityPlacement()
+        acme, rival = Tenant("acme"), Tenant("rival")
+        placed = {}
+        for i, tenant in enumerate((acme, rival, acme)):
+            vm = VirtualMachine(sim, f"v{i}", INSTANCE_TYPES["t1.micro"], tenant)
+            host = policy.place(vm, hosts)
+            host.attach_vm(vm)
+            placed[f"v{i}"] = host.name
+        assert placed["v0"] == placed["v2"]  # acme grouped together
+        assert placed["v1"] != placed["v0"]  # rival spread elsewhere
+
+    def test_placement_capacity_error(self, sim):
+        hosts = self._hosts(sim, n=1)
+        hosts[0].memory_used_mb = hosts[0].memory_mb
+        vm = VirtualMachine(sim, "v", INSTANCE_TYPES["t1.micro"], Tenant("t"))
+        with pytest.raises(CapacityError):
+            PackPlacement().place(vm, hosts)
+        with pytest.raises(CapacityError):
+            SpreadPlacement().place(vm, hosts)
+
+
+class TestDatacenterAndProviders:
+    def test_datacenter_topology_counts(self, sim):
+        dc = Datacenter(sim, "dc", DatacenterParams(n_racks=2, hosts_per_rack=3))
+        assert len(dc.tors) == 2
+        assert len(dc.hosts) == 6
+
+    def test_cross_rack_connectivity(self, sim, drive):
+        dc = Datacenter(sim, "dc", DatacenterParams(n_racks=2, hosts_per_rack=1))
+        t = Tenant("t")
+        vm1 = VirtualMachine(sim, "v1", INSTANCE_TYPES["t1.micro"], t)
+        vm2 = VirtualMachine(sim, "v2", INSTANCE_TYPES["t1.micro"], t)
+        dc.hosts[0].attach_vm(vm1)
+        addr2 = dc.hosts[1].attach_vm(vm2)  # other rack
+        icmp1, _ = IcmpStack(vm1), IcmpStack(vm2)
+        rtts = drive(sim, ping(icmp1, addr2, count=2, interval=0.01))
+        assert all(r is not None for r in rtts)
+
+    def test_public_cloud_launch_and_colocation(self, sim):
+        cloud = PublicCloud(sim)
+        acme, rival = Tenant("acme"), Tenant("rival")
+        vm1 = cloud.launch(acme, "t1.micro")
+        vm2 = cloud.launch(rival, "t1.micro")
+        # Packing placement co-locates competing tenants: the threat model.
+        assert vm1.host is vm2.host
+        assert {"acme", "rival"} in cloud.colocated_tenants()
+
+    def test_private_cloud_spreads(self, sim):
+        cloud = PrivateCloud(sim)
+        org = Tenant("org")
+        vms = [cloud.launch(org, "t1.micro") for _ in range(3)]
+        hosts = {vm.host.name for vm in vms}
+        assert len(hosts) == 3
+
+    def test_unknown_instance_type(self, sim):
+        cloud = PublicCloud(sim)
+        with pytest.raises(ValueError):
+            cloud.launch(Tenant("t"), "z9.mega")
+
+    def test_terminate(self, sim):
+        cloud = PublicCloud(sim)
+        vm = cloud.launch(Tenant("t"), "t1.micro")
+        cloud.terminate(vm)
+        assert vm.state == "terminated"
+        assert vm not in cloud.instances
+
+    def test_internet_attachment_end_to_end(self, sim, drive):
+        cloud = PublicCloud(sim)
+        internet = Internet(sim)
+        cloud.datacenter.attach_gateway(
+            internet.router, gateway_addr=ipv4("203.0.113.2"),
+            core_addr=ipv4("203.0.113.1"), delay_s=5e-3,
+        )
+        from repro.net.node import Node
+
+        external = Node(sim, "laptop")
+        internet.attach(external, ipv4("192.0.2.10"), delay_s=5e-3)
+        vm = cloud.launch(Tenant("t"), "t1.micro")
+        icmp_ext, _ = IcmpStack(external), IcmpStack(vm)
+        rtts = drive(sim, ping(icmp_ext, vm.primary_address, count=2,
+                               interval=0.01, timeout=2.0))
+        assert all(r is not None for r in rtts)
+        # WAN path: at least 2 x (5 + 5) ms.
+        assert min(rtts) > 0.02

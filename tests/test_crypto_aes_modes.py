@@ -1,0 +1,142 @@
+"""AES known-answer tests (FIPS-197) and mode properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_keystream_xor,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestAesBlock:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+    def test_fips197_aes128(self):
+        aes = AES(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        ct = aes.encrypt_block(FIPS_PLAIN)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert aes.decrypt_block(ct) == FIPS_PLAIN
+
+    def test_fips197_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        aes = AES(key)
+        ct = aes.encrypt_block(FIPS_PLAIN)
+        assert ct.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+        assert aes.decrypt_block(ct) == FIPS_PLAIN
+
+    def test_fips197_aes256(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        aes = AES(key)
+        ct = aes.encrypt_block(FIPS_PLAIN)
+        assert ct.hex() == "8ea2b7ca516745bfeafc49904b496089"
+        assert aes.decrypt_block(ct) == FIPS_PLAIN
+
+    def test_bad_key_sizes(self):
+        for n in (0, 15, 17, 31, 33):
+            with pytest.raises(ValueError):
+                AES(bytes(n))
+
+    def test_bad_block_sizes(self):
+        aes = AES(bytes(16))
+        with pytest.raises(ValueError):
+            aes.encrypt_block(bytes(15))
+        with pytest.raises(ValueError):
+            aes.decrypt_block(bytes(17))
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_roundtrip_random(self, key, block):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+class TestPkcs7:
+    @given(st.binary(max_size=100))
+    def test_roundtrip(self, data):
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_always_pads(self):
+        assert len(pkcs7_pad(bytes(16))) == 32
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"\x00" * 15 + b"\x03")
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"\x00" * 16)  # pad byte 0 invalid
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"")
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"\x01" * 15)  # not block aligned
+
+
+class TestModes:
+    @given(st.binary(max_size=200), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_cbc_roundtrip(self, plaintext, iv):
+        aes = AES(b"0123456789abcdef")
+        assert cbc_decrypt(aes, iv, cbc_encrypt(aes, iv, plaintext)) == plaintext
+
+    def test_cbc_iv_sensitivity(self):
+        aes = AES(bytes(16))
+        c1 = cbc_encrypt(aes, bytes(16), b"message")
+        c2 = cbc_encrypt(aes, b"\x01" + bytes(15), b"message")
+        assert c1 != c2
+
+    def test_cbc_tamper_breaks_padding_or_content(self):
+        aes = AES(bytes(16))
+        ct = bytearray(cbc_encrypt(aes, bytes(16), b"sixteen byte msg"))
+        ct[-1] ^= 0xFF
+        try:
+            out = cbc_decrypt(aes, bytes(16), bytes(ct))
+        except ValueError:
+            return  # padding error: detected
+        assert out != b"sixteen byte msg"
+
+    def test_cbc_rejects_bad_iv(self):
+        aes = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cbc_encrypt(aes, bytes(8), b"x")
+        with pytest.raises(ValueError):
+            cbc_decrypt(aes, bytes(8), bytes(16))
+
+    def test_cbc_rejects_unaligned_ciphertext(self):
+        aes = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cbc_decrypt(aes, bytes(16), bytes(17))
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30)
+    def test_ctr_involution(self, data):
+        aes = AES(b"fedcba9876543210")
+        nonce = b"\x07" * 8
+        assert ctr_keystream_xor(aes, nonce, ctr_keystream_xor(aes, nonce, data)) == data
+
+    def test_ctr_counter_offset_consistency(self):
+        """Encrypting block-by-block with counters equals one-shot encryption."""
+        aes = AES(bytes(16))
+        nonce = bytes(8)
+        data = bytes(range(64))
+        whole = ctr_keystream_xor(aes, nonce, data)
+        parts = b"".join(
+            ctr_keystream_xor(aes, nonce, data[i : i + 16], counter0=i // 16)
+            for i in range(0, 64, 16)
+        )
+        assert whole == parts
+
+    def test_ctr_nonce_validation(self):
+        with pytest.raises(ValueError):
+            ctr_keystream_xor(AES(bytes(16)), bytes(4), b"data")

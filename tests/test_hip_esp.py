@@ -1,0 +1,231 @@
+"""ESP data-plane tests: real crypto, BEET vs tunnel, anti-replay."""
+
+import pytest
+
+from repro.hip.esp import (
+    EspCiphertext,
+    EspError,
+    EspMode,
+    SecurityAssociation,
+    canonical_packet_bytes,
+    derive_sa_pair,
+)
+from repro.net.addresses import ipv4, ipv6
+from repro.net.packet import IPHeader, Packet, TCPHeader, UDPHeader, VirtualPayload
+
+HIT_A = ipv6("2001:10::a")
+HIT_B = ipv6("2001:10::b")
+ENC = bytes(range(16))
+AUTH = bytes(range(20))
+
+
+def make_sa(mode=EspMode.BEET, encrypt=True, spi=0x1000):
+    return SecurityAssociation(
+        spi=spi, enc_key=ENC, auth_key=AUTH,
+        src_hit=HIT_A, dst_hit=HIT_B, mode=mode, encrypt=encrypt,
+    )
+
+
+def sample_inner(payload=b"application data"):
+    return Packet(
+        headers=(
+            IPHeader(src=ipv4("1.0.0.1"), dst=ipv4("1.0.0.2"), proto="tcp"),
+            TCPHeader(src_port=1000, dst_port=80, seq=5, ack=6),
+        ),
+        payload=payload,
+    )
+
+
+class TestProtectVerify:
+    def test_real_roundtrip(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        inner = sample_inner()
+        header, ct = out_sa.protect(inner)
+        assert ct.ciphertext is not None  # real bytes were encrypted
+        recovered = in_sa.verify(header, ct)
+        assert recovered is inner
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sa = make_sa()
+        inner = sample_inner(b"super secret payload!")
+        _, ct = sa.protect(inner)
+        assert b"super secret payload!" not in ct.ciphertext
+
+    def test_tampered_ciphertext_rejected(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        header, ct = out_sa.protect(sample_inner())
+        bad = EspCiphertext(
+            inner=ct.inner, wire_len=ct.wire_len,
+            ciphertext=ct.ciphertext[:-1] + bytes([ct.ciphertext[-1] ^ 1]),
+            icv=ct.icv, iv=ct.iv,
+        )
+        with pytest.raises(EspError, match="ICV"):
+            in_sa.verify(header, bad)
+        assert in_sa.auth_failures == 1
+
+    def test_wrong_key_rejected(self):
+        out_sa = make_sa()
+        wrong = SecurityAssociation(
+            spi=0x1000, enc_key=bytes(16), auth_key=AUTH,
+            src_hit=HIT_A, dst_hit=HIT_B,
+        )
+        header, ct = out_sa.protect(sample_inner())
+        with pytest.raises(EspError):
+            wrong.verify(header, ct)
+
+    def test_wrong_auth_key_rejected(self):
+        out_sa = make_sa()
+        wrong = SecurityAssociation(
+            spi=0x1000, enc_key=ENC, auth_key=bytes(20),
+            src_hit=HIT_A, dst_hit=HIT_B,
+        )
+        header, ct = out_sa.protect(sample_inner())
+        with pytest.raises(EspError, match="ICV"):
+            wrong.verify(header, ct)
+
+    def test_spi_mismatch_rejected(self):
+        out_sa = make_sa(spi=0x1000)
+        other = make_sa(spi=0x2000)
+        header, ct = out_sa.protect(sample_inner())
+        with pytest.raises(EspError, match="SPI"):
+            other.verify(header, ct)
+
+    def test_virtual_payload_fast_path(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        inner = sample_inner(VirtualPayload(5000))
+        header, ct = out_sa.protect(inner)
+        assert ct.ciphertext is None
+        assert in_sa.verify(header, ct) is inner
+
+    def test_key_length_validation(self):
+        with pytest.raises(ValueError):
+            SecurityAssociation(spi=1, enc_key=bytes(8), auth_key=AUTH,
+                                src_hit=HIT_A, dst_hit=HIT_B)
+        with pytest.raises(ValueError):
+            SecurityAssociation(spi=1, enc_key=ENC, auth_key=bytes(8),
+                                src_hit=HIT_A, dst_hit=HIT_B)
+
+
+class TestModes:
+    def test_beet_strips_inner_ip_header(self):
+        """BEET saves the inner IP header bytes on the wire."""
+        beet = make_sa(EspMode.BEET)
+        tunnel = make_sa(EspMode.TUNNEL)
+        inner = sample_inner(b"x" * 100)
+        h_beet, ct_beet = beet.protect(inner)
+        h_tun, ct_tun = tunnel.protect(inner)
+        beet_total = h_beet.header_len + len(ct_beet)
+        tun_total = h_tun.header_len + len(ct_tun)
+        # Tunnel mode carries the 20-byte inner IPv4 header (modulo padding).
+        assert tun_total - beet_total >= 12
+        assert len(ct_tun) - len(ct_beet) == 20
+
+    def test_beet_bandwidth_overhead_modest(self):
+        sa = make_sa(EspMode.BEET)
+        inner = sample_inner(b"y" * 1400)
+        overhead = sa.overhead_bytes(inner)
+        assert 12 <= overhead < 80  # ESP fields minus the stripped IP header
+
+    def test_auth_only_sa_skips_iv_and_padding(self):
+        sa = make_sa(encrypt=False)
+        header, ct = sa.protect(sample_inner(b"z" * 64))
+        assert header.iv_len == 0
+        assert header.pad_len == 0
+        assert ct.ciphertext is None  # no encryption performed
+
+
+class TestAntiReplay:
+    def test_duplicate_sequence_rejected(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        header, ct = out_sa.protect(sample_inner())
+        in_sa.verify(header, ct)
+        with pytest.raises(EspError, match="replay"):
+            in_sa.verify(header, ct)
+        assert in_sa.replay_drops == 1
+
+    def test_out_of_order_within_window_accepted(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        packets = [out_sa.protect(sample_inner(bytes([i]) * 4)) for i in range(5)]
+        # Deliver 0, 3, 1, 4, 2 — all inside the window.
+        for idx in (0, 3, 1, 4, 2):
+            in_sa.verify(*packets[idx])
+        assert in_sa.packets_verified == 5
+
+    def test_below_window_rejected(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        packets = [out_sa.protect(sample_inner(b"abcd")) for _ in range(100)]
+        in_sa.verify(*packets[99])  # jump far ahead
+        with pytest.raises(EspError, match="window"):
+            in_sa.verify(*packets[0])
+
+    def test_sequence_increments(self):
+        sa = make_sa()
+        h1, _ = sa.protect(sample_inner())
+        h2, _ = sa.protect(sample_inner())
+        assert h2.seq == h1.seq + 1
+
+    def test_zero_sequence_rejected(self):
+        in_sa = make_sa()
+        from repro.net.packet import ESPHeader
+
+        header = ESPHeader(spi=0x1000, seq=0)
+        with pytest.raises(EspError):
+            in_sa.verify(header, EspCiphertext(inner=sample_inner(), wire_len=10))
+
+
+class TestKeymatSplit:
+    def test_initiator_responder_keys_mirror(self):
+        keymat = bytes(range(72)) + bytes(72)
+        i_out, i_in = derive_sa_pair(
+            keymat, spi_out=2, spi_in=1, local_hit=HIT_A, peer_hit=HIT_B,
+            is_initiator=True,
+        )
+        r_out, r_in = derive_sa_pair(
+            keymat, spi_out=1, spi_in=2, local_hit=HIT_B, peer_hit=HIT_A,
+            is_initiator=False,
+        )
+        assert i_out.enc_key == r_in.enc_key
+        assert i_out.auth_key == r_in.auth_key
+        assert i_in.enc_key == r_out.enc_key
+
+    def test_mirrored_sas_interoperate(self):
+        keymat = bytes(range(100, 172)) + bytes(72)
+        i_out, i_in = derive_sa_pair(
+            keymat, spi_out=2, spi_in=1, local_hit=HIT_A, peer_hit=HIT_B,
+            is_initiator=True,
+        )
+        r_out, r_in = derive_sa_pair(
+            keymat, spi_out=1, spi_in=2, local_hit=HIT_B, peer_hit=HIT_A,
+            is_initiator=False,
+        )
+        inner = sample_inner(b"ping")
+        assert r_in.verify(*i_out.protect(inner)) is inner
+        back = sample_inner(b"pong")
+        assert i_in.verify(*r_out.protect(back)) is back
+
+    def test_short_keymat_rejected(self):
+        with pytest.raises(ValueError):
+            derive_sa_pair(bytes(10), 1, 2, HIT_A, HIT_B, True)
+
+
+class TestCanonicalBytes:
+    def test_covers_all_header_types(self):
+        from repro.net.packet import ICMPHeader
+
+        for headers in (
+            (UDPHeader(src_port=1, dst_port=2),),
+            (TCPHeader(src_port=1, dst_port=2),),
+            (ICMPHeader(kind="echo-request", ident=1, seq=2),),
+            (IPHeader(src=ipv4("1.2.3.4"), dst=ipv4("5.6.7.8"), proto="udp"),),
+        ):
+            data = canonical_packet_bytes(Packet(headers=headers, payload=b"x"))
+            assert isinstance(data, bytes) and len(data) > 1
+
+    def test_virtual_payload_returns_none(self):
+        pkt = Packet(headers=(), payload=VirtualPayload(10))
+        assert canonical_packet_bytes(pkt) is None
+
+    def test_distinct_headers_distinct_bytes(self):
+        p1 = Packet(headers=(TCPHeader(src_port=1, dst_port=2, seq=9),), payload=b"")
+        p2 = Packet(headers=(TCPHeader(src_port=1, dst_port=2, seq=10),), payload=b"")
+        assert canonical_packet_bytes(p1) != canonical_packet_bytes(p2)

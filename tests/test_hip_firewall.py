@@ -1,0 +1,179 @@
+"""HIT-based firewall tests: end-host ACLs and the hypervisor middlebox."""
+
+import random
+
+import pytest
+
+from repro.hip.daemon import HipDaemon, HipError
+from repro.hip.firewall import HipFirewall, MiddleboxFirewall, Verdict
+from repro.net.addresses import ipv4, ipv6, prefix
+from repro.net.node import Node
+from repro.net.tcp import TcpStack
+from repro.net.topology import lan_pair, wire
+from repro.sim import Simulator
+
+A, B = ipv4("10.0.0.1"), ipv4("10.0.0.2")
+
+
+class TestPolicy:
+    def test_default_allow(self):
+        fw = HipFirewall()
+        assert fw.allow_inbound(ipv6("2001:10::1"))
+
+    def test_default_deny(self):
+        fw = HipFirewall(default=Verdict.DENY)
+        assert not fw.allow_inbound(ipv6("2001:10::1"))
+        assert fw.denied_inbound == 1
+
+    def test_allow_list_overrides_default_deny(self):
+        fw = HipFirewall(default=Verdict.DENY)
+        hit = ipv6("2001:10::1")
+        fw.allow_hit(hit)
+        assert fw.allow_inbound(hit)
+
+    def test_deny_list_overrides_default_allow(self):
+        fw = HipFirewall()
+        hit = ipv6("2001:10::1")
+        fw.deny_hit(hit)
+        assert not fw.allow_outbound(hit)
+        assert fw.denied_outbound == 1
+
+    def test_allow_then_deny_moves_entry(self):
+        fw = HipFirewall()
+        hit = ipv6("2001:10::1")
+        fw.allow_hit(hit)
+        fw.deny_hit(hit)
+        assert not fw.allow_inbound(hit)
+
+
+class TestEndHostFirewall:
+    def _pair(self, sim, session_identities, fw_a=None, fw_b=None):
+        a, b = lan_pair(sim, "a", "b")
+        da = HipDaemon(a, session_identities["a"], rng=random.Random(1), firewall=fw_a)
+        db = HipDaemon(b, session_identities["b"], rng=random.Random(2), firewall=fw_b)
+        da.add_peer(db.hit, [B])
+        db.add_peer(da.hit, [A])
+        return da, db
+
+    def test_responder_denies_unwanted_initiator(self, sim, session_identities):
+        fw = HipFirewall(default=Verdict.DENY)
+        da, db = self._pair(sim, session_identities, fw_b=fw)
+
+        def flow():
+            with pytest.raises(HipError):
+                yield from da.associate(db.hit, timeout=6.0)
+            return True
+
+        proc = sim.process(flow())
+        assert sim.run(until=proc) is True
+        assert db.drops_policy >= 1
+
+    def test_responder_allows_whitelisted_initiator(self, sim, session_identities, drive):
+        fw = HipFirewall(default=Verdict.DENY)
+        da, db = self._pair(sim, session_identities, fw_b=fw)
+        fw.allow_hit(da.hit)
+        assoc = drive(sim, da.associate(db.hit))
+        assert assoc.is_established
+
+    def test_outbound_policy_blocks_initiation(self, sim, session_identities):
+        fw = HipFirewall(default=Verdict.DENY)
+        da, db = self._pair(sim, session_identities, fw_a=fw)
+
+        def flow():
+            with pytest.raises(HipError, match="policy"):
+                yield from da.associate(db.hit, timeout=6.0)
+            return True
+
+        proc = sim.process(flow())
+        assert sim.run(until=proc) is True
+
+
+class TestMiddleboxFirewall:
+    @pytest.fixture
+    def routed_pair(self, sim, session_identities):
+        """a -- middlebox(router) -- b with HIP daemons on a and b."""
+        a = Node(sim, "a")
+        mbox = Node(sim, "mbox", forwarding=True)
+        b = Node(sim, "b")
+        ia, ma, _ = wire(sim, a, mbox, addr_a=ipv4("10.0.1.2"))
+        mb, ib, _ = wire(sim, mbox, b, addr_b=ipv4("10.0.2.2"))
+        a.routes.add(prefix("0.0.0.0/0"), ia)
+        mbox.routes.add(prefix("10.0.1.0/24"), ma)
+        mbox.routes.add(prefix("10.0.2.0/24"), mb)
+        b.routes.add(prefix("0.0.0.0/0"), ib)
+        da = HipDaemon(a, session_identities["a"], rng=random.Random(1))
+        db = HipDaemon(b, session_identities["b"], rng=random.Random(2))
+        da.add_peer(db.hit, [ipv4("10.0.2.2")])
+        db.add_peer(da.hit, [ipv4("10.0.1.2")])
+        return sim, mbox, da, db
+
+    def test_permitted_exchange_opens_pinhole(self, routed_pair, drive):
+        sim, mbox, da, db = routed_pair
+        fw = MiddleboxFirewall(mbox)
+        assoc = drive(sim, da.associate(db.hit))
+        assert assoc.is_established
+        assert len(fw._pinholes) == 1
+        # Data flows through the pinhole.
+        ta, tb = TcpStack(da.node), TcpStack(db.node)
+        got = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            got["x"] = yield from conn.recv_bytes(2)
+
+        def client():
+            conn = yield sim.process(ta.open_connection(db.hit, 80))
+            conn.write(b"ok")
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=sim.now + 30)
+        assert got.get("x") == b"ok"
+        assert fw.dropped_esp == 0
+
+    def test_denied_hit_cannot_establish_through_box(self, routed_pair):
+        sim, mbox, da, db = routed_pair
+        policy = HipFirewall(default=Verdict.DENY)
+        fw = MiddleboxFirewall(mbox, policy=policy)
+
+        def flow():
+            with pytest.raises(HipError):
+                yield from da.associate(db.hit, timeout=6.0)
+            return True
+
+        proc = sim.process(flow())
+        assert sim.run(until=proc) is True
+        assert fw.dropped_hip >= 1
+
+    def test_esp_without_observed_exchange_dropped(self, routed_pair):
+        """Spoofed ESP between the same locators is dropped: no pinhole."""
+        sim, mbox, da, db = routed_pair
+        fw = MiddleboxFirewall(mbox)
+        from repro.net.packet import ESPHeader, Packet
+
+        spoofed = Packet(headers=(ESPHeader(spi=0xDEAD, seq=1),), payload=b"")
+        da.node.send_ip(ipv4("10.0.2.2"), "esp", spoofed)
+        sim.run(until=1)
+        assert fw.dropped_esp == 1
+        assert db.drops_esp == 0  # never even reached the end host
+
+    def test_non_hip_traffic_unaffected(self, routed_pair):
+        sim, mbox, da, db = routed_pair
+        MiddleboxFirewall(mbox)
+        ta, tb = TcpStack(da.node), TcpStack(db.node)
+        got = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            got["x"] = yield from conn.recv_bytes(5)
+
+        def client():
+            conn = yield sim.process(ta.open_connection(ipv4("10.0.2.2"), 80))
+            conn.write(b"plain")
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=10)
+        assert got.get("x") == b"plain"

@@ -1,0 +1,214 @@
+"""HIP mobility (UPDATE), rendezvous and DNS-proxy tests."""
+
+import random
+
+import pytest
+
+from repro.hip.daemon import HipDaemon
+from repro.hip.dnsproxy import HipDnsProxy, publish_hip_host
+from repro.hip.identity import HostIdentity
+from repro.hip.rendezvous import RendezvousServer, register_with_rvs
+from repro.net.addresses import ipv4, is_hit, is_lsi, prefix
+from repro.net.dns import DnsResolver, DnsServer, Zone
+from repro.net.icmp import IcmpStack, ping
+from repro.net.node import Node
+from repro.net.tcp import TcpStack
+from repro.net.topology import wire
+from repro.net.udp import UdpStack
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def tri_net(sim, session_identities):
+    """Three HIP hosts on a star around a router, each with two addresses
+    available for mobility experiments."""
+    router = Node(sim, "router", forwarding=True)
+    hosts = {}
+    daemons = {}
+    addrs = {"a": "10.0.1.2", "b": "10.0.2.2", "c": "10.0.3.2"}
+    for i, name in enumerate(("a", "b", "c")):
+        node = Node(sim, name)
+        iface, r_if, _ = wire(sim, node, router, addr_a=ipv4(addrs[name]),
+                              delay_s=1e-3)
+        node.routes.add(prefix("0.0.0.0/0"), iface)
+        router.routes.add(prefix(f"10.0.{i + 1}.0/24"), r_if)
+        hosts[name] = node
+        daemons[name] = HipDaemon(
+            node, session_identities[name], rng=random.Random(i + 1)
+        )
+    for x in ("a", "b", "c"):
+        for y in ("a", "b", "c"):
+            if x != y:
+                daemons[x].add_peer(daemons[y].hit, [ipv4(addrs[y])])
+    return sim, router, hosts, daemons, addrs
+
+
+class TestMobility:
+    def test_locator_update_survives_readdress(self, tri_net, drive):
+        sim, router, hosts, daemons, addrs = tri_net
+        da, db = daemons["a"], daemons["b"]
+        drive(sim, da.associate(db.hit))
+
+        # Host a moves: new address on a new interface, reachable via router.
+        new_addr = ipv4("10.0.9.2")
+        node_a = hosts["a"]
+        iface, r_if, _ = wire(sim, node_a, router, addr_a=new_addr, delay_s=1e-3)
+        router.routes.add(prefix("10.0.9.0/24"), r_if)
+        node_a.routes.add(prefix("0.0.0.0/0"), iface)
+        da.move_to(new_addr)
+        sim.run(until=sim.now + 5)
+
+        # Peer must now address us at the new locator...
+        assert db.assocs[da.hit].peer_locator == new_addr
+        # ...and data still flows over the association.
+        icmp_b, _ = IcmpStack(hosts["b"]), IcmpStack(node_a)
+        rtts = drive(sim, ping(icmp_b, da.hit, count=2, interval=0.01))
+        assert all(r is not None for r in rtts)
+
+    def test_update_requires_valid_hmac(self, tri_net, drive):
+        sim, router, hosts, daemons, addrs = tri_net
+        da, db = daemons["a"], daemons["b"]
+        drive(sim, da.associate(db.hit))
+        assoc_at_b = db.assocs[da.hit]
+        original = assoc_at_b.peer_locator
+        # Forge an UPDATE with a bad HMAC by corrupting a's key first.
+        from repro.hip import packets as hp
+        from repro.crypto.hmac_kdf import hmac_digest
+
+        forged = hp.HipPacket(packet_type=hp.UPDATE, sender_hit=da.hit,
+                              receiver_hit=db.hit)
+        forged.add(hp.LOCATOR, hp.build_locator([(ipv4("10.0.66.6"), 120.0)]))
+        forged.add(hp.SEQ, hp.build_seq(999))
+        forged.add(hp.HMAC_PARAM, b"\x00" * 20)
+        forged.add(hp.HIP_SIGNATURE, b"\x00" * 64)
+        da._send_control(forged, ipv4(addrs["b"]))
+        sim.run(until=sim.now + 3)
+        assert assoc_at_b.peer_locator == original  # forgery ignored
+
+    def test_verified_address_committed_only_after_echo(self, tri_net, drive):
+        sim, router, hosts, daemons, addrs = tri_net
+        da, db = daemons["a"], daemons["b"]
+        drive(sim, da.associate(db.hit))
+        # Announce an address where a is NOT reachable: the nonce echo can
+        # never return, so b must keep the old locator.
+        da.move_to(ipv4("10.0.77.7"))
+        sim.run(until=sim.now + 5)
+        assert db.assocs[da.hit].peer_locator == ipv4(addrs["a"])
+
+
+class TestRendezvous:
+    def test_i1_relay_establishes_association(self, tri_net, drive):
+        sim, router, hosts, daemons, addrs = tri_net
+        rvs = RendezvousServer(daemons["c"])
+        # b registers with the RVS.
+        drive(sim, register_with_rvs(daemons["b"], daemons["c"].hit,
+                                     ipv4(addrs["c"])))
+        sim.run(until=sim.now + 2)
+        assert rvs.registered_locator(daemons["b"].hit) == ipv4(addrs["b"])
+
+        # a only knows b via the RVS locator.
+        da = daemons["a"]
+        da.hosts[daemons["b"].hit] = [ipv4(addrs["c"])]
+        assoc = drive(sim, da.associate(daemons["b"].hit))
+        assert assoc.is_established
+        assert rvs.relayed_i1 >= 1
+        # After R1, the exchange runs direct: a talks to b's real address.
+        assert assoc.peer_locator == ipv4(addrs["b"])
+
+    def test_unregistered_hit_not_relayed(self, tri_net, drive):
+        sim, router, hosts, daemons, addrs = tri_net
+        RendezvousServer(daemons["c"])
+        da = daemons["a"]
+        from repro.hip.daemon import HipError
+
+        da.hosts[daemons["b"].hit] = [ipv4(addrs["c"])]  # b never registered
+
+        def flow():
+            with pytest.raises(HipError):
+                yield from da.associate(daemons["b"].hit, timeout=8.0)
+            return True
+
+        proc = sim.process(flow())
+        assert sim.run(until=proc) is True
+
+    def test_deregister(self, tri_net, drive):
+        sim, router, hosts, daemons, addrs = tri_net
+        rvs = RendezvousServer(daemons["c"])
+        drive(sim, register_with_rvs(daemons["b"], daemons["c"].hit,
+                                     ipv4(addrs["c"])))
+        sim.run(until=sim.now + 2)
+        rvs.deregister(daemons["b"].hit)
+        assert rvs.registered_locator(daemons["b"].hit) is None
+
+
+class TestDnsProxy:
+    @pytest.fixture
+    def dns_net(self, tri_net):
+        sim, router, hosts, daemons, addrs = tri_net
+        # c runs the DNS server.
+        udp_c = UdpStack(hosts["c"])
+        zone = Zone()
+        server = DnsServer(hosts["c"], udp_c, zone=zone)
+        udp_a = UdpStack(hosts["a"])
+        resolver = DnsResolver(hosts["a"], udp_a, server_addr=ipv4(addrs["c"]))
+        proxy = HipDnsProxy(daemons["a"], resolver)
+        return sim, daemons, addrs, zone, proxy
+
+    def test_hip_name_resolves_to_lsi_and_primes_daemon(self, dns_net, drive):
+        sim, daemons, addrs, zone, proxy = dns_net
+        publish_hip_host(zone, "b.cloud", daemons["b"], [ipv4(addrs["b"])])
+        lsi = drive(sim, proxy.resolve("b.cloud", family=4))
+        assert is_lsi(lsi)
+        assert daemons["a"].hosts[daemons["b"].hit] == [ipv4(addrs["b"])]
+        assert proxy.hip_answers == 1
+
+    def test_hip_name_resolves_to_hit_for_v6(self, dns_net, drive):
+        sim, daemons, addrs, zone, proxy = dns_net
+        publish_hip_host(zone, "b.cloud", daemons["b"], [ipv4(addrs["b"])])
+        hit = drive(sim, proxy.resolve("b.cloud", family=6))
+        assert hit == daemons["b"].hit
+
+    def test_plain_name_resolves_to_address(self, dns_net, drive):
+        sim, daemons, addrs, zone, proxy = dns_net
+        from repro.net.dns import DnsRecord
+
+        zone.add(DnsRecord(name="plain.example", rtype="A",
+                           address=ipv4("203.0.113.99")))
+        addr = drive(sim, proxy.resolve("plain.example", family=4))
+        assert addr == ipv4("203.0.113.99")
+        assert proxy.plain_answers == 1
+
+    def test_unknown_name_raises(self, dns_net):
+        sim, daemons, addrs, zone, proxy = dns_net
+
+        def flow():
+            with pytest.raises(KeyError):
+                yield from proxy.resolve("ghost.example", family=4)
+            return True
+
+        proc = sim.process(flow())
+        assert sim.run(until=proc) is True
+
+    def test_end_to_end_resolve_then_connect(self, dns_net, drive):
+        """The full HIPL flow: resolve name -> LSI -> TCP through ESP."""
+        sim, daemons, addrs, zone, proxy = dns_net
+        publish_hip_host(zone, "b.cloud", daemons["b"], [ipv4(addrs["b"])])
+        node_a = daemons["a"].node
+        node_b = daemons["b"].node
+        ta, tb = TcpStack(node_a), TcpStack(node_b)
+        got = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            got["data"] = yield from conn.recv_bytes(5)
+
+        def client():
+            lsi = yield from proxy.resolve("b.cloud", family=4)
+            conn = yield sim.process(ta.open_connection(lsi, 80))
+            conn.write(b"named")
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=60)
+        assert got.get("data") == b"named"

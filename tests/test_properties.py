@@ -1,0 +1,217 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hip import packets as hp
+from repro.hip.esp import EspError, EspMode, SecurityAssociation
+from repro.net.addresses import IPAddress, ipv4, ipv6
+from repro.net.packet import IPHeader, Packet, TCPHeader, VirtualPayload
+from repro.net.tcp import TcpStack
+from repro.net.topology import lan_pair
+from repro.sim import Simulator
+
+HIT_A, HIT_B = ipv6("2001:10::a"), ipv6("2001:10::b")
+
+slow_settings = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture,
+                           HealthCheck.too_slow],
+)
+
+
+class TestTcpStreamProperties:
+    @given(chunks=st.lists(
+        st.one_of(st.binary(min_size=1, max_size=4000),
+                  st.integers(min_value=1, max_value=20_000)),
+        min_size=1, max_size=12,
+    ))
+    @slow_settings
+    def test_stream_preserves_bytes_and_lengths(self, chunks):
+        """Any interleaving of real/virtual writes arrives intact, in order."""
+        sim = Simulator()
+        a, b = lan_pair(sim, "a", "b")
+        ta, tb = TcpStack(a), TcpStack(b)
+        total = sum(len(c) if isinstance(c, bytes) else c for c in chunks)
+        expected_real = b"".join(c for c in chunks if isinstance(c, bytes))
+        got = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            pieces = []
+            received = 0
+            while received < total:
+                chunk = yield conn.recv()
+                received += len(chunk)
+                pieces.append(chunk)
+            got["real"] = b"".join(
+                bytes(p) for p in pieces if not isinstance(p, VirtualPayload)
+            )
+            got["total"] = received
+
+        def client():
+            conn = yield sim.process(ta.open_connection(ipv4("10.0.0.2"), 80))
+            for c in chunks:
+                conn.write(c if isinstance(c, bytes) else VirtualPayload(c))
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=120)
+        assert got.get("total") == total
+        assert got.get("real") == expected_real
+
+    @given(seed=st.integers(0, 2**16), loss=st.floats(0.0, 0.15))
+    @slow_settings
+    def test_lossy_transfer_is_reliable(self, seed, loss):
+        from repro.net.link import Link
+        from repro.net.node import Node
+        from repro.net.addresses import prefix
+
+        sim = Simulator()
+        a = Node(sim, "a")
+        b = Node(sim, "b")
+        link = Link(sim, bandwidth_bps=50e6, delay_s=1e-3,
+                    loss_rate=loss, loss_rng=random.Random(seed))
+        ia = a.add_interface("eth0", ipv4("10.0.0.1"))
+        ib = b.add_interface("eth0", ipv4("10.0.0.2"))
+        link.connect(ia, ib)
+        a.routes.add(prefix("10.0.0.0/24"), ia)
+        b.routes.add(prefix("10.0.0.0/24"), ib)
+        ta, tb = TcpStack(a), TcpStack(b)
+        payload = bytes((seed + i) % 251 for i in range(5000))
+        got = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            got["data"] = yield from conn.recv_bytes(len(payload))
+
+        def client():
+            conn = yield sim.process(ta.open_connection(ipv4("10.0.0.2"), 80))
+            conn.write(payload)
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=300)
+        assert got.get("data") == payload
+
+
+class TestEspProperties:
+    def _sa_pair(self):
+        enc, auth = bytes(range(16)), bytes(range(20))
+        mk = lambda: SecurityAssociation(
+            spi=0x42, enc_key=enc, auth_key=auth,
+            src_hit=HIT_A, dst_hit=HIT_B, mode=EspMode.BEET,
+        )
+        return mk(), mk()
+
+    @given(payloads=st.lists(st.binary(min_size=0, max_size=300),
+                             min_size=1, max_size=20))
+    @slow_settings
+    def test_protect_verify_roundtrip_any_payload(self, payloads):
+        out_sa, in_sa = self._sa_pair()
+        for data in payloads:
+            inner = Packet(
+                headers=(IPHeader(src=ipv4("1.0.0.1"), dst=ipv4("1.0.0.2"),
+                                  proto="tcp"),
+                         TCPHeader(src_port=1, dst_port=2)),
+                payload=data,
+            )
+            assert in_sa.verify(*out_sa.protect(inner)) is inner
+
+    @given(order=st.permutations(list(range(10))))
+    @slow_settings
+    def test_any_window_order_accepted_once(self, order):
+        """Every permutation inside the replay window verifies exactly once."""
+        out_sa, in_sa = self._sa_pair()
+        packets = []
+        for i in range(10):
+            inner = Packet(
+                headers=(TCPHeader(src_port=1, dst_port=2, seq=i),),
+                payload=bytes([i]),
+            )
+            packets.append(out_sa.protect(inner))
+        for idx in order:
+            in_sa.verify(*packets[idx])
+        for idx in order:
+            with pytest.raises(EspError):
+                in_sa.verify(*packets[idx])
+
+    @given(flip=st.integers(0, 10_000), data=st.binary(min_size=1, max_size=200))
+    @slow_settings
+    def test_any_single_bit_flip_detected(self, flip, data):
+        out_sa, in_sa = self._sa_pair()
+        inner = Packet(headers=(TCPHeader(src_port=9, dst_port=9),), payload=data)
+        header, ct = out_sa.protect(inner)
+        blob = bytearray(ct.ciphertext)
+        position = flip % (len(blob) * 8)
+        blob[position // 8] ^= 1 << (position % 8)
+        from repro.hip.esp import EspCiphertext
+
+        tampered = EspCiphertext(inner=ct.inner, wire_len=ct.wire_len,
+                                 ciphertext=bytes(blob), icv=ct.icv, iv=ct.iv)
+        with pytest.raises(EspError):
+            in_sa.verify(header, tampered)
+
+
+class TestHipPacketProperties:
+    @given(params=st.lists(
+        st.tuples(st.sampled_from([hp.ESP_INFO, hp.PUZZLE, hp.SEQ, hp.ACK,
+                                   hp.HOST_ID, hp.HMAC_PARAM, hp.HIP_SIGNATURE]),
+                  st.binary(min_size=0, max_size=120)),
+        min_size=0, max_size=8,
+    ))
+    @slow_settings
+    def test_serialize_parse_roundtrip(self, params):
+        pkt = hp.HipPacket(packet_type=hp.UPDATE, sender_hit=HIT_A,
+                           receiver_hit=HIT_B)
+        for code, data in params:
+            pkt.params.append(hp.Param(code, data))
+        pkt.params.sort(key=lambda p: p.code)
+        parsed = hp.HipPacket.parse(pkt.serialize())
+        assert [(p.code, p.data) for p in parsed.params] == [
+            (p.code, p.data) for p in pkt.params
+        ]
+
+    @given(data=st.binary(min_size=0, max_size=200))
+    @slow_settings
+    def test_parser_never_crashes_on_garbage(self, data):
+        """Fuzz: arbitrary bytes either parse or raise HipParseError."""
+        try:
+            hp.HipPacket.parse(data)
+        except hp.HipParseError:
+            pass
+
+    @given(cut=st.integers(1, 200))
+    @slow_settings
+    def test_truncations_rejected(self, cut):
+        pkt = hp.HipPacket(packet_type=hp.I2, sender_hit=HIT_A, receiver_hit=HIT_B)
+        pkt.add(hp.HOST_ID, hp.build_host_id(b"RSA:" + bytes(64)))
+        pkt.add(hp.HIP_SIGNATURE, bytes(64))
+        data = pkt.serialize()
+        cut = min(cut, len(data) - 1)
+        with pytest.raises(hp.HipParseError):
+            hp.HipPacket.parse(data[:-cut])
+
+
+class TestAddressProperties:
+    @given(value=st.integers(0, 2**128 - 1))
+    @slow_settings
+    def test_ipv6_text_roundtrip(self, value):
+        addr = IPAddress(6, value)
+        # Our formatter emits the uncompressed form, which must re-parse.
+        assert ipv6(str(addr)) == addr
+
+    @given(value=st.integers(0, 2**32 - 1), length=st.integers(0, 32))
+    @slow_settings
+    def test_prefix_contains_its_network(self, value, length):
+        from repro.net.addresses import Prefix
+
+        network = IPAddress(4, value & ~((1 << (32 - length)) - 1) if length < 32
+                            else value)
+        p = Prefix(network, length)
+        assert p.contains(network)

@@ -1,0 +1,110 @@
+"""Scenario-builder and experiment-runner integration tests (small scale)."""
+
+import pytest
+
+from repro.apps.workload import ClosedLoopClients
+from repro.scenarios.experiments import (
+    run_fig2_point,
+    run_fig3,
+    run_httperf_point,
+)
+from repro.scenarios.rubis_cloud import (
+    FRONTEND_PORT,
+    SECURITY_MODES,
+    build_rubis_cloud,
+)
+
+
+class TestDeploymentBuilder:
+    @pytest.mark.parametrize("security", SECURITY_MODES)
+    def test_builds_and_serves(self, security):
+        dep = build_rubis_cloud(seed=3, security=security, hip_rsa_bits=512)
+        sim = dep.sim
+        workload = ClosedLoopClients(
+            dep.client_node, dep.client_tcp, dep.frontend_addr, FRONTEND_PORT,
+            n_clients=2, rng=dep.rngs.stream("t"), warmup=0.5,
+        )
+        done = sim.process(workload.run(1.5))
+        result = sim.run(until=done)
+        assert result.successes > 3
+        assert result.failures == 0
+
+    def test_architecture_matches_figure1(self):
+        dep = build_rubis_cloud(seed=3, security="basic", hip_rsa_bits=512)
+        assert len(dep.web_vms) == 3  # three web servers
+        assert dep.db_vm.instance_type.name == "m1.large"
+        assert all(vm.instance_type.name == "t1.micro" for vm in dep.web_vms)
+        # LB is outside the cloud: not one of the provider's instances.
+        assert dep.lb_node not in dep.provider.instances
+        assert len(dep.lb.backends) == 3
+
+    def test_multi_tenancy_present(self):
+        dep = build_rubis_cloud(seed=3, security="basic", hip_rsa_bits=512)
+        colocated = dep.provider.colocated_tenants()
+        assert any(len(tenants) > 1 for tenants in colocated)
+
+    def test_hip_mode_wires_daemons(self):
+        dep = build_rubis_cloud(seed=3, security="hip", hip_rsa_bits=512)
+        assert set(dep.daemons) == {"loadbalancer", "db0", "web0", "web1", "web2"}
+        # Backends are addressed by LSI, not by routable addresses.
+        from repro.net.addresses import is_lsi
+
+        assert all(is_lsi(b.addr) for b in dep.lb.backends)
+
+    def test_ssl_mode_wires_vpn(self):
+        dep = build_rubis_cloud(seed=3, security="ssl", hip_rsa_bits=512)
+        assert set(dep.vpn_daemons) == {"loadbalancer", "db0", "web0", "web1", "web2"}
+        from repro.tls.vpn import VPN_SUBNET
+
+        assert all(VPN_SUBNET.contains(b.addr) for b in dep.lb.backends)
+
+    def test_deterministic_for_seed(self):
+        r1 = run_fig2_point("basic", n_clients=3, duration=1.5, warmup=0.5, seed=11)
+        r2 = run_fig2_point("basic", n_clients=3, duration=1.5, warmup=0.5, seed=11)
+        assert r1.throughput == r2.throughput
+        assert r1.mean_latency == r2.mean_latency
+
+    def test_seed_changes_results(self):
+        r1 = run_fig2_point("basic", n_clients=3, duration=1.5, warmup=0.5, seed=11)
+        r2 = run_fig2_point("basic", n_clients=3, duration=1.5, warmup=0.5, seed=12)
+        assert r1.mean_latency != r2.mean_latency
+
+    def test_invalid_security_rejected(self):
+        with pytest.raises(ValueError):
+            build_rubis_cloud(seed=1, security="tls13")
+        with pytest.raises(ValueError):
+            build_rubis_cloud(seed=1, security="basic", provider_kind="edge")
+
+
+class TestExperimentRunners:
+    def test_fig2_point_smoke(self):
+        point = run_fig2_point("hip", n_clients=3, duration=1.5, warmup=0.5,
+                               seed=5)
+        assert point.security == "hip"
+        assert point.successes > 0
+        assert point.throughput > 0
+
+    def test_httperf_point_smoke(self):
+        point = run_httperf_point("basic", rate=20.0, duration=2.0, seed=5)
+        assert point.successes > 30
+        assert 0 < point.mean_ms < 1000
+
+    def test_httperf_uses_single_web_and_cache(self):
+        from repro.scenarios.rubis_cloud import build_rubis_cloud
+
+        dep = build_rubis_cloud(seed=5, security="basic", n_web=1,
+                                cache_enabled=True, hip_rsa_bits=512)
+        assert len(dep.web_vms) == 1
+        assert dep.db_server.cache_enabled
+
+    def test_fig3_single_mode_smoke(self):
+        points = run_fig3(modes=("ipv4",), transfer_bytes=1_000_000,
+                          ping_count=3, hip_rsa_bits=512)
+        assert len(points) == 1
+        assert points[0].throughput_mbps > 50
+        assert 0 < points[0].rtt_ms < 2
+
+    def test_fig3_hip_mode_smoke(self):
+        points = run_fig3(modes=("hit-ipv4",), transfer_bytes=1_000_000,
+                          ping_count=3, hip_rsa_bits=512)
+        assert points[0].throughput_mbps > 20

@@ -1,0 +1,143 @@
+"""Additional SSL-VPN daemon coverage: failure paths and accounting."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RsaKeyPair
+from repro.net.addresses import IPAddress, ipv4
+from repro.net.tcp import TcpStack
+from repro.net.topology import lan_pair
+from repro.tls.vpn import SslVpnDaemon, VPN_SUBNET, VpnError, VpnRecordHeader
+
+A, B = ipv4("10.0.0.1"), ipv4("10.0.0.2")
+
+
+@pytest.fixture(scope="module")
+def keys():
+    gen = random.Random(31)
+    return RsaKeyPair.generate(512, gen), RsaKeyPair.generate(512, gen)
+
+
+def vpn_addr(n: int) -> IPAddress:
+    return IPAddress(4, VPN_SUBNET.network.value + n)
+
+
+@pytest.fixture
+def vpn_pair(sim, keys):
+    key_a, key_b = keys
+    a, b = lan_pair(sim, "a", "b")
+    va = SslVpnDaemon(a, vpn_addr(10), key_a, rng=random.Random(1))
+    vb = SslVpnDaemon(b, vpn_addr(11), key_b, rng=random.Random(2))
+    va.add_peer(vpn_addr(11), B, key_b.public)
+    vb.add_peer(vpn_addr(10), A, key_a.public)
+    return sim, a, b, va, vb
+
+
+class TestVpnDetails:
+    def test_record_header_overhead(self):
+        header = VpnRecordHeader(seq=1, pad_len=8)
+        # 5 record + 16 IV + 20 MAC + 8 pad + 8 UDP.
+        assert header.header_len == 57
+
+    def test_wire_packets_are_vpn_protocol(self, vpn_pair):
+        sim, a, b, va, vb = vpn_pair
+        protos = []
+        endpoint = a.interface("eth0")._endpoint
+        original = endpoint.send
+
+        def spy(packet):
+            protos.append(packet.outer.proto)
+            return original(packet)
+
+        endpoint.send = spy
+        ta, tb = TcpStack(a), TcpStack(b)
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            yield from conn.recv_bytes(3)
+
+        def client():
+            conn = yield sim.process(ta.open_connection(vpn_addr(11), 80))
+            conn.write(b"abc")
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=30)
+        assert set(protos) == {"sslvpn"}
+
+    def test_wrong_server_key_rejected_by_client(self, sim, keys):
+        """Client keyed to the wrong public key: server can't decrypt, the
+        finished check never passes, the tunnel times out."""
+        key_a, key_b = keys
+        wrong = RsaKeyPair.generate(512, random.Random(99))
+        a, b = lan_pair(sim, "a", "b")
+        va = SslVpnDaemon(a, vpn_addr(10), key_a, rng=random.Random(1))
+        vb = SslVpnDaemon(b, vpn_addr(11), key_b, rng=random.Random(2))
+        va.add_peer(vpn_addr(11), B, wrong.public)  # wrong trust
+        vb.add_peer(vpn_addr(10), A, key_a.public)
+
+        def flow():
+            with pytest.raises(VpnError):
+                yield from va.connect(vpn_addr(11), timeout=10.0)
+            return True
+
+        proc = sim.process(flow())
+        assert sim.run(until=proc) is True
+
+    def test_tunnel_reused_across_connections(self, vpn_pair):
+        sim, a, b, va, vb = vpn_pair
+        ta, tb = TcpStack(a), TcpStack(b)
+        done = []
+
+        def server():
+            listener = tb.listen(80)
+            while True:
+                conn = yield listener.accept()
+                sim.process(serve_one(conn))
+
+        def serve_one(conn):
+            data = yield from conn.recv_bytes(2)
+            done.append(bytes(data))
+
+        def client():
+            for i in range(3):
+                conn = yield sim.process(ta.open_connection(vpn_addr(11), 80))
+                conn.write(b"%02d" % i)
+                conn.close()
+                yield sim.timeout(0.2)
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=30)
+        assert sorted(done) == [b"00", b"01", b"02"]
+        assert va.meter.ops.get("vpn.asym.encrypt") == 1  # one handshake total
+
+    def test_bidirectional_counters(self, vpn_pair):
+        sim, a, b, va, vb = vpn_pair
+        from repro.net.icmp import IcmpStack, ping
+
+        icmp_a, _ = IcmpStack(a), IcmpStack(b)
+        proc = sim.process(ping(icmp_a, vpn_addr(11), count=4, timeout=10.0))
+        sim.run(until=proc)
+        assert va.packets_sent >= 4
+        assert va.packets_received >= 4
+        assert vb.packets_sent >= 4
+        assert vb.packets_received >= 4
+
+    def test_queue_limit_bounds_pending_packets(self, sim, keys):
+        key_a, key_b = keys
+        a, b = lan_pair(sim, "a", "b")
+        va = SslVpnDaemon(a, vpn_addr(10), key_a, rng=random.Random(1),
+                          queue_limit=4)
+        # Peer never configured: handshake can't start, packets queue.
+        from repro.net.packet import Packet, UDPHeader
+
+        for i in range(10):
+            a.send_ip(vpn_addr(11), "udp",
+                      Packet(headers=(UDPHeader(src_port=1, dst_port=2),)))
+        sim.run(until=1)
+        tunnel = va.tunnels.get(vpn_addr(11))
+        assert tunnel is not None
+        assert len(tunnel.queued) <= 4
