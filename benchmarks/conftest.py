@@ -10,10 +10,14 @@ shape.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
+
+from repro.metrics import METRICS, RECORDER
+from repro.metrics.report import metrics_json
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
 
@@ -49,6 +53,21 @@ def bench_mode() -> dict:
 def report_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(autouse=True)
+def metrics_snapshot(request, report_dir):
+    """Per-benchmark layer breakdown: reset the registry, dump it afterwards.
+
+    Every benchmark gets a ``<test>.metrics.json`` (schema ``repro-metrics/1``)
+    next to its text table, so throughput/latency numbers come with the
+    per-layer packet and drop counts that produced them.
+    """
+    METRICS.reset()
+    yield
+    payload = metrics_json(METRICS, RECORDER, extra={"benchmark": request.node.name})
+    path = report_dir / f"{request.node.name}.metrics.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def write_report(report_dir: pathlib.Path, name: str, lines: list[str]) -> None:

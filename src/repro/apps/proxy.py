@@ -21,8 +21,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
-from repro.apps.http import read_request, read_response, write_request, write_response
+from repro.apps.http import (
+    HttpResponse,
+    read_request,
+    read_response,
+    write_request,
+    write_response,
+)
 from repro.apps.streams import BufferedReader, PlainStream, StreamClosed, TlsStream
+from repro.metrics import METRICS, RECORDER
 from repro.net.tcp import TcpError, TcpStack
 from repro.sim.resources import Queue
 
@@ -32,6 +39,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 PROXY_CPU_PER_REQUEST = 2.0e-4  # header parse + rewrite + scheduling
 PROXY_CPU_PER_BYTE = 4.0e-9  # copy cost
+
+_REQUESTS = METRICS.counter("proxy.requests")
+_RESPONSES = METRICS.counter("proxy.responses")
+_UPSTREAM_ERRORS = METRICS.counter("proxy.upstream_errors")
+_CLIENT_ERRORS = METRICS.counter("proxy.client_errors")
+_UPSTREAM_DIALS = METRICS.counter("proxy.upstream_dials")
+_POOL_REUSES = METRICS.counter("proxy.pool_reuses")
+_POOL_WAITS = METRICS.counter("proxy.pool_waits")
+_REQUEST_T = METRICS.histogram("proxy.request_s")
 
 
 @dataclass
@@ -109,15 +125,40 @@ class ReverseProxy:
         pool = self._pools[id(backend)]
         ok, upstream = pool.try_get()
         if ok:
+            _POOL_REUSES.inc()
+            if RECORDER.enabled:
+                RECORDER.record(
+                    self.sim.now, "proxy", "pool_acquire",
+                    node=self.node.name, port=upstream.backend.port, source="pool",
+                )
             return upstream
         if self._pool_sizes[id(backend)] < self._max_pool:
+            # Claim the slot before the (yielding) dial so concurrent acquirers
+            # cannot over-open; the slot must be returned if the dial fails or
+            # the backend's capacity leaks away one failed connect at a time.
             self._pool_sizes[id(backend)] += 1
-            upstream = yield from self._open_upstream(backend)
+            try:
+                upstream = yield from self._open_upstream(backend)
+            except BaseException:
+                self._pool_sizes[id(backend)] -= 1
+                raise
+            if RECORDER.enabled:
+                RECORDER.record(
+                    self.sim.now, "proxy", "pool_acquire",
+                    node=self.node.name, port=backend.port, source="dial",
+                )
             return upstream
+        _POOL_WAITS.inc()
         upstream = yield pool.get()
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "proxy", "pool_acquire",
+                node=self.node.name, port=upstream.backend.port, source="wait",
+            )
         return upstream
 
     def _open_upstream(self, backend: Backend) -> Generator:
+        _UPSTREAM_DIALS.inc()
         conn = yield self.sim.process(
             self.tcp.open_connection(backend.addr, backend.port)
         )
@@ -134,6 +175,11 @@ class ReverseProxy:
         return _Upstream(stream=stream, reader=BufferedReader(stream), backend=backend)
 
     def _release_upstream(self, upstream: _Upstream, broken: bool) -> None:
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "proxy", "pool_release",
+                node=self.node.name, port=upstream.backend.port, broken=broken,
+            )
         if broken:
             upstream.stream.close()
             self._pool_sizes[id(upstream.backend)] -= 1
@@ -151,41 +197,72 @@ class ReverseProxy:
         reader = BufferedReader(stream)
         try:
             while True:
-                request = yield from read_request(reader)
+                try:
+                    request = yield from read_request(reader)
+                except (StreamClosed, TcpError):
+                    # A close between requests is the normal end of a
+                    # keep-alive session, not a client error.  Bytes already
+                    # buffered mean the peer died mid-request-head.  (A close
+                    # mid-body with an empty buffer still looks graceful;
+                    # acceptable for the GET-only workloads simulated here.)
+                    if reader.pending:
+                        self.stats.client_errors += 1
+                        _CLIENT_ERRORS.inc()
+                    return
                 self.stats.requests += 1
-                yield from self.node.cpu_work(PROXY_CPU_PER_REQUEST)
-                response = yield from self._forward(request)
-                if response is None:
-                    from repro.apps.http import HttpResponse
-
-                    self.stats.upstream_errors += 1
-                    yield from write_response(
-                        stream, HttpResponse(status=502, reason="Bad Gateway")
+                _REQUESTS.inc()
+                started = self.sim.now
+                if RECORDER.enabled:
+                    RECORDER.record(
+                        self.sim.now, "proxy", "request",
+                        node=self.node.name, path=request.path,
                     )
-                    continue
-                yield from self.node.cpu_work(PROXY_CPU_PER_BYTE * len(response.body))
-                yield from write_response(stream, response)
+                try:
+                    yield from self.node.cpu_work(PROXY_CPU_PER_REQUEST)
+                    response = yield from self._forward(request)
+                    if response is None:
+                        self.stats.upstream_errors += 1
+                        _UPSTREAM_ERRORS.inc()
+                        yield from write_response(
+                            stream, HttpResponse(status=502, reason="Bad Gateway")
+                        )
+                        continue
+                    yield from self.node.cpu_work(PROXY_CPU_PER_BYTE * len(response.body))
+                    yield from write_response(stream, response)
+                except (StreamClosed, TcpError):
+                    self.stats.client_errors += 1
+                    _CLIENT_ERRORS.inc()
+                    return
                 self.stats.responses += 1
-        except (StreamClosed, TcpError):
-            self.stats.client_errors += 1
-            return
+                _RESPONSES.inc()
+                _REQUEST_T.observe(self.sim.now - started)
+        finally:
+            stream.close()
 
     def _forward(self, request) -> Generator:
         backend = self._pick_backend()
         backend.active += 1
         try:
             if not self.backend_keepalive:
+                upstream = None
                 try:
                     upstream = yield from self._open_upstream(backend)
                     yield from write_request(upstream.stream, request)
                     response = yield from read_response(upstream.reader)
                 except (StreamClosed, TcpError):
                     return None
-                upstream.stream.close()
+                finally:
+                    # Close on every exit, not just success: an upstream that
+                    # dies mid-exchange must not leak its TCP connection.
+                    if upstream is not None:
+                        upstream.stream.close()
                 backend.served += 1
                 return response
             for attempt in range(2):  # one retry on a stale pooled connection
-                upstream = yield from self._acquire_upstream(backend)
+                try:
+                    upstream = yield from self._acquire_upstream(backend)
+                except (StreamClosed, TcpError):
+                    return None
                 try:
                     yield from write_request(upstream.stream, request)
                     response = yield from read_response(upstream.reader)

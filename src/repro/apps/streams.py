@@ -94,6 +94,11 @@ class BufferedReader:
         self.stream = stream
         self._chunks: list = []  # buffered, in arrival order
 
+    @property
+    def pending(self) -> bool:
+        """True if bytes were received but not yet consumed by a read."""
+        return bool(self._chunks)
+
     def _buffered_real_prefix(self) -> bytes:
         parts = []
         for chunk in self._chunks:

@@ -51,6 +51,7 @@ from repro.hip.identity import (
     hit_from_public_key,
     verify_with_host_id,
 )
+from repro.metrics import METRICS, RECORDER
 from repro.net.addresses import IPAddress, is_hit, is_lsi
 from repro.net.packet import ESPHeader, HIPHeader, IPHeader, Packet
 from repro.sim.resources import Queue
@@ -67,6 +68,16 @@ KEYMAT_BYTES = _HIP_KEY_BYTES + _ESP_KEY_BYTES
 I1_RETRIES = 4
 I2_RETRIES = 4
 RETRY_BASE_S = 0.5
+
+# Global tallies across every daemon in the process; the per-daemon attributes
+# (``data_packets_sent`` etc.) keep the same counts for single-host assertions.
+_DATA_SENT = METRICS.counter("hip.data_packets_sent")
+_DATA_RECV = METRICS.counter("hip.data_packets_received")
+_ESP_DROPS = METRICS.counter("hip.esp_drops")
+_NO_MAPPING = METRICS.counter("hip.drops_no_mapping")
+_POLICY_DROPS = METRICS.counter("hip.drops_policy")
+_BEX_DONE = METRICS.counter("hip.bex_completed")
+_BEX_T = METRICS.histogram("hip.bex_s")
 
 
 class HipError(Exception):
@@ -214,7 +225,7 @@ class HipDaemon:
         nonce = self.rng.getrandbits(64).to_bytes(8, "big")
         pkt.add(hp.ECHO_REQUEST_SIGNED, nonce)
         self._finalize_and_send(pkt, assoc, sign=True)
-        assoc.state = "CLOSING"
+        self._transition(assoc, "CLOSING")
 
     # --------------------------------------------------------------- data path --
     def _output_shim(self, node: "Node", packet: Packet) -> Packet | None:
@@ -225,6 +236,7 @@ class HipDaemon:
             peer_hit = self.lsi.hit_for(ip.dst)
             if peer_hit is None:
                 self.drops_no_mapping += 1
+                _NO_MAPPING.inc()
                 return None
             self._tx.try_put((peer_hit, packet, "lsi"))
             return None
@@ -259,6 +271,12 @@ class HipDaemon:
         esp_header, ciphertext = assoc.sa_out.protect(packet)
         wire = Packet(headers=(esp_header,), payload=ciphertext).with_meta(addr_kind=kind)
         self.data_packets_sent += 1
+        _DATA_SENT.value += 1
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "hip", "esp_seal", node=self.node.name,
+                spi=esp_header.spi, seq=esp_header.seq, bytes=packet.size_bytes,
+            )
         self.node.send_ip(assoc.peer_locator, "esp", wire)
 
     def _on_esp_packet(self, node: "Node", packet: Packet, iface) -> None:
@@ -272,11 +290,11 @@ class HipDaemon:
             assert isinstance(esp_header, ESPHeader)
             assoc = self._sa_in_by_spi.get(esp_header.spi)
             if assoc is None or assoc.sa_in is None:
-                self.drops_esp += 1
+                self._drop_esp(esp_header, "unknown_spi")
                 continue
             payload = body.payload
             if not isinstance(payload, EspCiphertext):
-                self.drops_esp += 1
+                self._drop_esp(esp_header, "malformed_payload")
                 continue
             kind = packet.meta.get("addr_kind", "hit")
             cm = self.node.cost_model
@@ -287,12 +305,27 @@ class HipDaemon:
                 yield from self.node.cpu_work(cost)
             try:
                 inner = assoc.sa_in.verify(esp_header, payload)
-            except EspError:
-                self.drops_esp += 1
+            except EspError as exc:
+                self._drop_esp(esp_header, str(exc))
                 continue
             delivered = self._rebuild_inner(inner, assoc, kind)
             self.data_packets_received += 1
+            _DATA_RECV.value += 1
+            if RECORDER.enabled:
+                RECORDER.record(
+                    self.sim.now, "hip", "esp_open", node=self.node.name,
+                    spi=esp_header.spi, seq=esp_header.seq, bytes=delivered.size_bytes,
+                )
             self.node._on_receive(delivered, None)
+
+    def _drop_esp(self, esp_header: ESPHeader, reason: str) -> None:
+        self.drops_esp += 1
+        _ESP_DROPS.inc()
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "hip", "esp_drop", node=self.node.name,
+                spi=esp_header.spi, seq=esp_header.seq, reason=reason,
+            )
 
     def _rebuild_inner(self, inner: Packet, assoc: Association, kind: str) -> Packet:
         """Reconstruct the inner IP header with *this host's* HIT/LSI view.
@@ -327,6 +360,26 @@ class HipDaemon:
         return "raw"
 
     # ------------------------------------------------------------ associations --
+    def _transition(self, assoc: Association, state: str) -> None:
+        """Move the association FSM, tracing the edge when the recorder is on."""
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "hip", "bex_state",
+                node=self.node.name, peer=str(assoc.peer_hit),
+                frm=assoc.state, to=state,
+            )
+        assoc.state = state
+
+    def _established(self, assoc: Association) -> None:
+        """Common tail of both BEX completions (R2 received / I2 accepted)."""
+        self._transition(assoc, "ESTABLISHED")
+        assoc.established_at = self.sim.now
+        self.bex_completed += 1
+        _BEX_DONE.inc()
+        _BEX_T.observe(self.sim.now - assoc.created_at)
+        if not assoc.established_evt.triggered:  # type: ignore[attr-defined]
+            assoc.established_evt.succeed(assoc)  # type: ignore[attr-defined]
+
     def _ensure_assoc(self, peer_hit: IPAddress) -> Association:
         assoc = self.assocs.get(peer_hit)
         if assoc is None:
@@ -349,15 +402,15 @@ class HipDaemon:
     def _start_bex(self, assoc: Association) -> None:
         locator = self._locator_for(assoc.peer_hit)
         if locator is None:
-            assoc.state = "FAILED"
             self._fail_assoc(assoc, HipError(f"no locator known for {assoc.peer_hit}"))
             return
         if self.firewall is not None and not self.firewall.allow_outbound(assoc.peer_hit):
             self.drops_policy += 1
+            _POLICY_DROPS.inc()
             self._fail_assoc(assoc, HipError("outbound HIP policy denies peer"))
             return
         assoc.peer_locator = locator
-        assoc.state = "I1-SENT"
+        self._transition(assoc, "I1-SENT")
         assoc.retries = 0
         self._send_i1(assoc)
         self.sim.process(self._i1_retransmitter(assoc), name="hip-i1-rtx")
@@ -390,7 +443,7 @@ class HipDaemon:
             self._send_control(i2, assoc.peer_locator)
 
     def _fail_assoc(self, assoc: Association, error: Exception) -> None:
-        assoc.state = "FAILED"
+        self._transition(assoc, "FAILED")
         assoc.queued.clear()
         evt = assoc.established_evt
         if evt is not None and not evt.triggered:  # type: ignore[attr-defined]
@@ -474,6 +527,7 @@ class HipDaemon:
             return
         if self.firewall is not None and not self.firewall.allow_inbound(i1.sender_hit):
             self.drops_policy += 1
+            _POLICY_DROPS.inc()
             return
         # Stateless: send the precomputed R1 with the initiator's HIT stamped
         # into the (unsigned) receiver slot.  Cheap by design.
@@ -495,6 +549,7 @@ class HipDaemon:
             return
         if self.firewall is not None and not self.firewall.allow_inbound(i2.sender_hit):
             self.drops_policy += 1
+            _POLICY_DROPS.inc()
             return
         cm = self.node.cost_model
         solution_data = i2.get(hp.SOLUTION)
@@ -571,11 +626,7 @@ class HipDaemon:
         )
         r2.add(hp.HIP_SIGNATURE, self.identity.sign(r2.bytes_for_param(hp.HIP_SIGNATURE), self.rng))
         self._send_control(r2, ip.src)
-        assoc.state = "ESTABLISHED"
-        assoc.established_at = self.sim.now
-        self.bex_completed += 1
-        if not assoc.established_evt.triggered:  # type: ignore[attr-defined]
-            assoc.established_evt.succeed(assoc)  # type: ignore[attr-defined]
+        self._established(assoc)
 
     # -- initiator side --------------------------------------------------------------
     def _handle_r1(self, r1: hp.HipPacket, ip: IPHeader) -> Generator:
@@ -642,7 +693,7 @@ class HipDaemon:
             asym_cost_for_host_id(self.identity.public_key_bytes, "sign", cm),
         )
         i2.add(hp.HIP_SIGNATURE, self.identity.sign(i2.bytes_for_param(hp.HIP_SIGNATURE), self.rng))
-        assoc.state = "I2-SENT"
+        self._transition(assoc, "I2-SENT")
         assoc.peer_locator = ip.src
         self._send_control(i2, ip.src)
         self.sim.process(self._i2_retransmitter(assoc, i2), name="hip-i2-rtx")
@@ -677,11 +728,7 @@ class HipDaemon:
             mode=self.config.esp_mode, encrypt=self.config.esp_encrypt,
         )
         self._sa_in_by_spi[local_spi] = assoc
-        assoc.state = "ESTABLISHED"
-        assoc.established_at = self.sim.now
-        self.bex_completed += 1
-        if not assoc.established_evt.triggered:  # type: ignore[attr-defined]
-            assoc.established_evt.succeed(assoc)  # type: ignore[attr-defined]
+        self._established(assoc)
         # Flush packets queued while the exchange ran.
         queued, assoc.queued = assoc.queued, []
         for packet, kind in queued:
@@ -918,7 +965,7 @@ class HipDaemon:
         self._drop_assoc(assoc)
 
     def _drop_assoc(self, assoc: Association) -> None:
-        assoc.state = "CLOSED"
+        self._transition(assoc, "CLOSED")
         if assoc.sa_in is not None:
             self._sa_in_by_spi.pop(assoc.sa_in.spi, None)
         assoc.sa_in = assoc.sa_out = None

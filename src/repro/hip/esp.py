@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.crypto.aes import AES
 from repro.crypto.hmac_kdf import hmac_digest
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.metrics import METRICS
 from repro.net.addresses import IPAddress
 from repro.net.packet import (
     ESPHeader,
@@ -41,6 +42,13 @@ from repro.net.packet import (
 ICV_LEN = 12  # HMAC-SHA1-96
 IV_LEN = 16
 REPLAY_WINDOW = 64
+
+# Per-SA attributes keep the same tallies for local inspection; the global
+# counters aggregate across every SA in the process for the metrics report.
+_PROTECTED = METRICS.counter("esp.packets_protected")
+_VERIFIED = METRICS.counter("esp.packets_verified")
+_REPLAY_DROPS = METRICS.counter("esp.replay_drops")
+_AUTH_FAILURES = METRICS.counter("esp.auth_failures")
 
 
 class EspError(Exception):
@@ -144,6 +152,7 @@ class SecurityAssociation:
         """Protect ``inner``; returns (ESP header, ESP payload)."""
         self.seq += 1
         self.packets_protected += 1
+        _PROTECTED.value += 1
         plain = self._plaintext_view(inner)
         real = canonical_packet_bytes(plain)
         # Pad plaintext + 2 trailer bytes to the AES block size.
@@ -190,18 +199,22 @@ class SecurityAssociation:
             )[:ICV_LEN]
             if expect_icv != payload.icv:
                 self.auth_failures += 1
+                _AUTH_FAILURES.inc()
                 raise EspError("ICV verification failed")
             try:
                 plain = cbc_decrypt(self._aes, payload.iv, payload.ciphertext)
             except ValueError as exc:
                 self.auth_failures += 1
+                _AUTH_FAILURES.inc()
                 raise EspError(f"decryption failed: {exc}") from exc
             reference = canonical_packet_bytes(self._plaintext_view(payload.inner))
             if plain != reference:
                 self.auth_failures += 1
+                _AUTH_FAILURES.inc()
                 raise EspError("decrypted plaintext does not match inner packet")
         self._accept_replay(header.seq)
         self.packets_verified += 1
+        _VERIFIED.value += 1
         return payload.inner
 
     def _check_replay(self, seq: int) -> None:
@@ -212,9 +225,11 @@ class SecurityAssociation:
         offset = self._replay_top - seq
         if offset >= REPLAY_WINDOW:
             self.replay_drops += 1
+            _REPLAY_DROPS.inc()
             raise EspError(f"sequence {seq} below replay window")
         if self._replay_mask & (1 << offset):
             self.replay_drops += 1
+            _REPLAY_DROPS.inc()
             raise EspError(f"replayed sequence {seq}")
 
     def _accept_replay(self, seq: int) -> None:

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.metrics import METRICS, RECORDER
 from repro.sim.resources import Queue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Interface
     from repro.net.packet import Packet
     from repro.sim.engine import Simulator
+
+_TX_PACKETS = METRICS.counter("link.tx_packets")
+_TX_BYTES = METRICS.counter("link.tx_bytes")
+_LOST = METRICS.counter("link.lost_packets")
+_QUEUE_DROPS = METRICS.counter("link.queue_drops")
 
 
 class LinkEndpoint:
@@ -53,17 +59,32 @@ class LinkEndpoint:
 
     def send(self, packet: "Packet") -> bool:
         """Enqueue for transmission; returns False if the queue dropped it."""
-        return self.queue.try_put(packet)
+        ok = self.queue.try_put(packet)
+        if not ok:
+            _QUEUE_DROPS.inc()
+            if RECORDER.enabled:
+                RECORDER.record(
+                    self.sim.now, "link", "queue_drop", bytes=packet.size_bytes,
+                )
+        return ok
 
     def _transmitter(self):
         while True:
             packet = yield self.queue.get()
-            serialize = packet.size_bytes * 8.0 / self.bandwidth_bps
+            size = packet.size_bytes  # computed property — read it once
+            serialize = size * 8.0 / self.bandwidth_bps
             yield self.sim.timeout(serialize)
             self.tx_packets += 1
-            self.tx_bytes += packet.size_bytes
+            self.tx_bytes += size
+            _TX_PACKETS.value += 1
+            _TX_BYTES.value += size
+            if RECORDER.enabled:
+                RECORDER.record(self.sim.now, "link", "tx", bytes=size)
             if self.loss_rate and self.loss_rng.random() < self.loss_rate:
                 self.lost_packets += 1
+                _LOST.inc()
+                if RECORDER.enabled:
+                    RECORDER.record(self.sim.now, "link", "loss", bytes=size)
                 continue
             # Propagation: deliver after delay without blocking the serializer.
             self.sim.process(self._deliver(packet), name="link-prop")

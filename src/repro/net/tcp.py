@@ -21,12 +21,20 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Generator
 
+from repro.metrics import METRICS, RECORDER
 from repro.net.addresses import IPAddress
 from repro.net.packet import Packet, Payload, TCPHeader, VirtualPayload
 from repro.sim.resources import Queue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Interface, Node
+
+_SEGMENTS_SENT = METRICS.counter("tcp.segments_sent")
+_RETRANSMITS = METRICS.counter("tcp.segments_retransmitted")
+_CONNECTS = METRICS.counter("tcp.connects")
+_ACCEPTS = METRICS.counter("tcp.accepts")
+_FAILURES = METRICS.counter("tcp.connection_failures")
+_RTT = METRICS.histogram("tcp.rtt_s")
 
 DEFAULT_MSS = 1448  # bytes of payload per segment (Ethernet MTU - headers)
 DEFAULT_WINDOW = 65535
@@ -186,6 +194,7 @@ class TcpConnection:
 
     # -- connection setup ---------------------------------------------------------
     def _start_connect(self) -> None:
+        _CONNECTS.inc()
         self.state = "SYN_SENT"
         self.snd_nxt = 1  # SYN consumes sequence 0
         self.snd_una = 0
@@ -193,6 +202,7 @@ class TcpConnection:
         self._arm_timer()
 
     def _start_accept(self) -> None:
+        _ACCEPTS.inc()
         self.state = "SYN_RCVD"
         self.rcv_nxt = 1
         self.snd_nxt = 1
@@ -219,6 +229,13 @@ class TcpConnection:
         packet = Packet(headers=(header,), payload=payload)
         self.node.send_ip(self.remote_addr, "tcp", packet, src=self.local_addr)
         self.segments_sent += 1
+        _SEGMENTS_SENT.value += 1
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "tx",
+                node=self.node.name, dst_port=self.remote_port,
+                seq=header.seq, flags=sorted(header.flags), len=len(payload),
+            )
         if register_inflight:
             self.inflight.append(
                 {
@@ -318,6 +335,12 @@ class TcpConnection:
         self.dup_acks = 0
         self.rto = min(self.rto * 2, MAX_RTO)
         self.segments_retransmitted += 1
+        _RETRANSMITS.inc()
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "retransmit",
+                node=self.node.name, kind="rto", seq=seg["seq"], rto=self.rto,
+            )
         self._send_segment(
             flags=seg.get("flags", frozenset()), seq=seg["seq"], payload=seg.get("payload", b"")
         )
@@ -394,6 +417,12 @@ class TcpConnection:
                 self.ssthresh = max(flight // 2, 2 * self.mss)
                 self.cwnd = self.ssthresh
                 self.segments_retransmitted += 1
+                _RETRANSMITS.inc()
+                if RECORDER.enabled:
+                    RECORDER.record(
+                        self.sim.now, "tcp", "retransmit",
+                        node=self.node.name, kind="fast", seq=entry["seq"],
+                    )
                 self._send_segment(
                     flags=entry.get("flags", frozenset()),
                     seq=entry["seq"],
@@ -409,6 +438,7 @@ class TcpConnection:
             self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
             self.srtt = 0.875 * self.srtt + 0.125 * sample
         self.rto = min(max(self.srtt + 4 * self.rttvar, MIN_RTO), MAX_RTO)
+        _RTT.observe(sample)
 
     def _process_data(self, seq: int, payload: Payload, fin: bool) -> None:
         if seq > self.rcv_nxt:
@@ -470,6 +500,13 @@ class TcpConnection:
         self.state = "CLOSED"
         self._timer_gen += 1
         self.stack._forget(self)
+        if error is not None:
+            _FAILURES.inc()
+            if RECORDER.enabled:
+                RECORDER.record(
+                    self.sim.now, "tcp", "teardown",
+                    node=self.node.name, dst_port=self.remote_port, error=str(error),
+                )
         if not self._established_evt.triggered:
             self._established_evt.fail(error or TcpError("closed before established"))
         if not self._closed_evt.triggered:

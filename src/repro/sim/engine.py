@@ -5,7 +5,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator
 
+from repro.metrics import METRICS, RECORDER
 from repro.sim.events import Event, Process, Timeout
+
+_STEPS = METRICS.counter("sim.steps")
+_CRASHES = METRICS.counter("sim.process_crashes")
 
 
 class StopProcess(Exception):
@@ -78,8 +82,19 @@ class Simulator:
         for cb in callbacks:
             cb(event)
         if self._crashed:
-            proc, exc = self._crashed.pop()
-            raise RuntimeError(f"unhandled crash in process {proc.name!r}") from exc
+            # One event cascade can crash several processes; drain them all
+            # so no crash is retained and misattributed to a later step.
+            crashed, self._crashed = self._crashed, []
+            _CRASHES.inc(len(crashed))
+            if RECORDER.enabled:
+                for proc, exc in crashed:
+                    RECORDER.record(
+                        self._now, "sim", "process_crash",
+                        process=proc.name, error=repr(exc),
+                    )
+            names = ", ".join(repr(proc.name) for proc, _exc in crashed)
+            noun = "process" if len(crashed) == 1 else "processes"
+            raise RuntimeError(f"unhandled crash in {noun} {names}") from crashed[0][1]
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -94,31 +109,40 @@ class Simulator:
           * an :class:`Event` — run until it fires, returning its value
             (re-raising its exception if it failed).
         """
-        if until is None:
-            while self._heap:
+        # The step counter is batched per run() call: one flush instead of a
+        # counter-attribute store per event keeps the hot loop overhead nil.
+        steps = 0
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+                    steps += 1
+                return None
+
+            if isinstance(until, Event):
+                stop = until
+                while not stop.processed:
+                    if not self._heap:
+                        raise RuntimeError(
+                            "simulation starved: event heap drained before the "
+                            "awaited event fired (deadlock?)"
+                        )
+                    self.step()
+                    steps += 1
+                if stop._ok:
+                    return stop._value
+                raise stop._value
+
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"run(until={deadline}) is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= deadline:
                 self.step()
+                steps += 1
+            self._now = deadline
             return None
-
-        if isinstance(until, Event):
-            stop = until
-            while not stop.processed:
-                if not self._heap:
-                    raise RuntimeError(
-                        "simulation starved: event heap drained before the "
-                        "awaited event fired (deadlock?)"
-                    )
-                self.step()
-            if stop._ok:
-                return stop._value
-            raise stop._value
-
-        deadline = float(until)
-        if deadline < self._now:
-            raise ValueError(f"run(until={deadline}) is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
-        self._now = deadline
-        return None
+        finally:
+            _STEPS.value += steps
 
     # -- conveniences -----------------------------------------------------------
     def with_deadline(

@@ -68,6 +68,95 @@ def http_get(sim, tcp, frontend, path, out, key="resp"):
     return sim.process(flow())
 
 
+@pytest.fixture
+def small_proxy_net(sim):
+    """client -- proxy -- backend chain, plain TCP, no servers installed."""
+    client = Node(sim, "client")
+    proxy_node = Node(sim, "proxy")
+    backend_node = Node(sim, "backend")
+    ic, ipc, _ = wire(sim, client, proxy_node,
+                      addr_a=ipv4("10.0.0.2"), addr_b=ipv4("10.0.0.1"))
+    ipb, ib, _ = wire(sim, proxy_node, backend_node,
+                      addr_a=ipv4("10.1.0.1"), addr_b=ipv4("10.1.0.2"))
+    client.routes.add(prefix("0.0.0.0/0"), ic)
+    backend_node.routes.add(prefix("0.0.0.0/0"), ib)
+    proxy_node.routes.add(prefix("10.0.0.0/24"), ipc)
+    proxy_node.routes.add(prefix("10.1.0.0/24"), ipb)
+    tcp = {"client": TcpStack(client), "proxy": TcpStack(proxy_node),
+           "backend": TcpStack(backend_node)}
+    return sim, tcp, proxy_node, backend_node
+
+
+class TestProxyRegressions:
+    def test_failed_dial_does_not_leak_pool_slots(self, small_proxy_net):
+        """Regression: a failed upstream dial kept its pool-capacity slot.
+
+        With keep-alive pooling and a dead backend, two failed dials used to
+        exhaust a 2-slot pool permanently; the third request then blocked on
+        ``pool.get()`` forever and the simulation starved.
+        """
+        sim, tcp, proxy_node, backend_node = small_proxy_net
+        proxy = ReverseProxy(proxy_node, tcp["proxy"], 80,
+                             [Backend(addr=ipv4("10.1.0.2"), port=9999)],
+                             rng=random.Random(1), backend_keepalive=True,
+                             max_pool_per_backend=2)
+        out = {}
+        for i in range(4):  # strictly more requests than pool slots
+            proc = http_get(sim, tcp["client"], ipv4("10.0.0.1"), "/a", out, key=i)
+            sim.run(until=proc)
+        assert [out[i].status for i in range(4)] == [502] * 4
+        assert all(size == 0 for size in proxy._pool_sizes.values())
+
+    def test_upstream_close_mid_request_does_not_leak_connections(self, small_proxy_net):
+        """Regression: non-keepalive forwards leaked the upstream TCP
+        connection when the backend died between connect and response."""
+        sim, tcp, proxy_node, backend_node = small_proxy_net
+        listener = tcp["backend"].listen(8080)
+
+        def rude_backend():
+            while True:
+                conn = yield listener.accept()
+                conn.close()  # accept, then hang up before any response
+
+        sim.process(rude_backend(), name="rude-backend")
+        ReverseProxy(proxy_node, tcp["proxy"], 80,
+                     [Backend(addr=ipv4("10.1.0.2"), port=8080)],
+                     rng=random.Random(1))
+        out = {}
+        proc = http_get(sim, tcp["client"], ipv4("10.0.0.1"), "/a", out)
+        sim.run(until=proc)
+        sim.run(until=sim.now + 10)  # let FIN handshakes complete
+        assert out["resp"].status == 502
+        assert tcp["proxy"]._connections == {}
+
+    def test_graceful_keepalive_close_is_not_a_client_error(self, mini_site):
+        """Regression: a client ending its keep-alive session by closing the
+        connection was counted as a client error."""
+        sim, client, tcp, addr, proxy, servers, db = mini_site
+        out = {}
+        proc = http_get(sim, tcp, addr["proxy"], "/browse?id=1", out)
+        sim.run(until=proc)
+        sim.run(until=sim.now + 5)  # proxy observes the close
+        assert out["resp"].status == 200
+        assert proxy.stats.responses == 1
+        assert proxy.stats.client_errors == 0
+
+    def test_abort_mid_request_head_is_a_client_error(self, mini_site):
+        sim, client, tcp, addr, proxy, servers, db = mini_site
+
+        def flow():
+            conn = yield sim.process(tcp.open_connection(addr["proxy"], 80))
+            stream = PlainStream(conn)
+            yield from stream.send(b"GET /brow")  # partial request head
+            yield sim.timeout(0.5)
+            stream.close()
+
+        sim.process(flow())
+        sim.run(until=10)
+        assert proxy.stats.requests == 0
+        assert proxy.stats.client_errors == 1
+
+
 class TestRubisWebTier:
     def test_request_mix_weights_normalized_sampling(self, rng):
         counts = {}

@@ -172,6 +172,45 @@ class TestAntiReplay:
         with pytest.raises(EspError):
             in_sa.verify(header, EspCiphertext(inner=sample_inner(), wire_len=10))
 
+    def test_first_packet_has_seq_one(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        header, ct = out_sa.protect(sample_inner())
+        assert header.seq == 1  # the counter pre-increments from 0
+        in_sa.verify(header, ct)
+        assert in_sa._replay_top == 1
+
+    def test_duplicate_at_window_edge_rejected(self):
+        """seq 1 is still tracked (offset 63) once the window tops at 64."""
+        out_sa, in_sa = make_sa(), make_sa()
+        packets = [out_sa.protect(sample_inner(bytes([i]) * 4)) for i in range(64)]
+        in_sa.verify(*packets[0])  # seq 1
+        in_sa.verify(*packets[63])  # seq 64 -> window covers [1, 64]
+        with pytest.raises(EspError, match="replayed"):
+            in_sa.verify(*packets[0])
+        assert in_sa.replay_drops == 1
+
+    def test_far_jump_advances_window_top(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        packets = [out_sa.protect(sample_inner(b"wxyz")) for _ in range(300)]
+        in_sa.verify(*packets[0])
+        in_sa.verify(*packets[299])  # seq 300, far beyond the 64-wide window
+        assert in_sa._replay_top == 300
+        # A late packet just inside the shifted window is still accepted...
+        in_sa.verify(*packets[249])  # seq 250, offset 50
+        # ...while one the jump pushed below it is not.
+        with pytest.raises(EspError, match="below replay window"):
+            in_sa.verify(*packets[199])  # seq 200, offset 100
+        assert in_sa.packets_verified == 3
+
+    def test_late_packet_below_window_rejected_and_counted(self):
+        out_sa, in_sa = make_sa(), make_sa()
+        packets = [out_sa.protect(sample_inner(b"late")) for _ in range(70)]
+        in_sa.verify(*packets[69])  # seq 70: window floor is 7
+        with pytest.raises(EspError, match="below replay window"):
+            in_sa.verify(*packets[5])  # seq 6, offset 64 == window size
+        in_sa.verify(*packets[6])  # seq 7, offset 63: last seq still inside
+        assert in_sa.replay_drops == 1
+
 
 class TestKeymatSplit:
     def test_initiator_responder_keys_mirror(self):

@@ -1,0 +1,254 @@
+"""Unit tests for the metrics registry, flight recorder and report module."""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics import FlightRecorder, METRICS, MetricsRegistry, RECORDER
+from repro.metrics.registry import HISTOGRAM_RESERVOIR
+from repro.metrics.report import (
+    SCHEMA_VERSION,
+    metrics_json,
+    render_report,
+    write_json_report,
+)
+
+
+class TestRegistry:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("link.tx_packets")
+        c.inc()
+        c.inc(4)
+        c.value += 1
+        assert c.value == 6
+        assert reg.counter("link.tx_packets") is c  # get-or-create
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sim.heap_depth")
+        g.set(17.5)
+        assert g.value == 17.5
+
+    def test_cross_type_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("esp.drops")
+        with pytest.raises(ValueError, match="another type"):
+            reg.histogram("esp.drops")
+        with pytest.raises(ValueError, match="another type"):
+            reg.gauge("esp.drops")
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+        with pytest.raises(ValueError):
+            reg.counter(" padded ")
+
+    def test_reset_zeroes_in_place(self):
+        """Handles bound before a reset must stay live — the instrumented
+        modules bind module-level handles exactly once, at import."""
+        reg = MetricsRegistry()
+        c = reg.counter("tcp.connects")
+        h = reg.histogram("tcp.rtt_s")
+        c.inc(9)
+        h.observe(0.5)
+        reg.reset()
+        assert c.value == 0
+        assert h.count == 0
+        c.inc()
+        h.observe(1.0)
+        assert reg.counter("tcp.connects") is c
+        assert reg.snapshot()["counters"]["tcp.connects"] == 1
+        assert reg.snapshot()["histograms"]["tcp.rtt_s"]["count"] == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a.n").inc()
+        reg.gauge("b.g").set(2.0)
+        reg.histogram("c.h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.n": 1}
+        assert snap["gauges"] == {"b.g": 2.0}
+        assert snap["histograms"]["c.h"]["count"] == 1
+
+
+class TestHistogram:
+    def test_percentiles_interpolate(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t.lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(99) == pytest.approx(99.01)
+        assert h.mean == pytest.approx(50.5)
+        assert h.minimum == 1.0 and h.maximum == 100.0
+
+    def test_single_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t.one")
+        h.observe(7.0)
+        assert h.percentile(50) == 7.0
+        assert h.percentile(99) == 7.0
+        summary = h.summary()
+        assert summary["count"] == 1 and summary["p95"] == 7.0
+
+    def test_empty_summary_is_nan_not_crash(self):
+        reg = MetricsRegistry()
+        summary = reg.histogram("t.empty").summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p50"])
+        assert math.isnan(summary["mean"])
+
+    def test_reservoir_bounds_memory_but_not_exact_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t.big", capacity=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100  # exact
+        assert h.maximum == 99.0  # exact
+        assert len(h._values) == 10  # percentile reservoir is bounded
+        # Deterministic first-N reservoir: percentiles reflect the first 10.
+        assert h.percentile(100) == 9.0
+
+    def test_default_capacity(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("t.cap").capacity == HISTOGRAM_RESERVOIR
+
+    def test_invalid_capacity(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("t.bad", capacity=0)
+
+
+class TestFlightRecorder:
+    def test_disabled_records_nothing(self):
+        rec = FlightRecorder()
+        rec.record(0.0, "link", "tx", bytes=100)
+        assert len(rec) == 0
+        assert rec.recorded == 0
+
+    def test_record_and_filter(self):
+        rec = FlightRecorder(enabled=True)
+        rec.record(0.1, "link", "tx", bytes=100)
+        rec.record(0.2, "tcp", "retransmit", kind="rto")
+        rec.record(0.3, "link", "loss", bytes=100)
+        assert len(rec) == 3
+        assert [ev.event for ev in rec.events(layer="link")] == ["tx", "loss"]
+        only = rec.events(layer="tcp", event="retransmit")
+        assert len(only) == 1 and only[0].fields["kind"] == "rto"
+
+    def test_ring_eviction_keeps_tally(self):
+        rec = FlightRecorder(capacity=4, enabled=True)
+        for i in range(10):
+            rec.record(float(i), "link", "tx", n=i)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        assert [ev.fields["n"] for ev in rec.events()] == [6, 7, 8, 9]
+        assert rec.tally() == {"link.tx": 10}  # survives eviction
+
+    def test_enable_disable_clear(self):
+        rec = FlightRecorder(enabled=True)
+        rec.record(0.0, "sim", "step")
+        rec.disable()
+        rec.record(1.0, "sim", "step")
+        assert rec.recorded == 1
+        rec.clear()
+        assert len(rec) == 0 and rec.recorded == 0 and rec.tally() == {}
+
+    def test_enable_resizes_capacity(self):
+        rec = FlightRecorder(capacity=8)
+        rec.enable(capacity=2)
+        rec.record(0.0, "a", "x")
+        rec.record(0.0, "a", "y")
+        rec.record(0.0, "a", "z")
+        assert rec.capacity == 2
+        assert [ev.event for ev in rec.events()] == ["y", "z"]
+
+    def test_recording_context_restores_state(self):
+        rec = FlightRecorder()
+        with rec.recording():
+            assert rec.enabled
+            rec.record(0.0, "a", "x")
+        assert not rec.enabled
+        assert len(rec) == 1  # events kept, recording just stopped
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder().enable(capacity=-1)
+
+
+class TestReport:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("link.tx_packets").inc(5)
+        reg.counter("link.tx_bytes").inc(5000)
+        reg.counter("tcp.connects").inc(2)
+        reg.gauge("sim.depth").set(3.0)
+        h = reg.histogram("tcp.rtt_s")
+        for v in (0.01, 0.02, 0.03):
+            h.observe(v)
+        reg.histogram("proxy.request_s")  # empty, must serialize as nulls
+        rec = FlightRecorder(enabled=True)
+        rec.record(0.5, "hip", "bex_state", frm="I1-SENT", to="I2-SENT")
+        return reg, rec
+
+    def test_schema_and_layers(self):
+        reg, rec = self._populated()
+        payload = metrics_json(reg, rec, extra={"benchmark": "x"})
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["layers"]["link"] == {"tx_packets": 5, "tx_bytes": 5000}
+        assert payload["layers"]["tcp"] == {"connects": 2}
+        assert payload["counters"]["link.tx_packets"] == 5
+        assert payload["extra"] == {"benchmark": "x"}
+        assert payload["flight_recorder"]["by_event"] == {"hip.bex_state": 1}
+        assert payload["trace"] == [
+            [0.5, "hip", "bex_state", {"frm": "I1-SENT", "to": "I2-SENT"}]
+        ]
+
+    def test_strict_json_no_nan(self):
+        reg, rec = self._populated()
+        text = json.dumps(metrics_json(reg, rec), allow_nan=False)
+        parsed = json.loads(text)
+        assert parsed["histograms"]["proxy.request_s"]["p50"] is None
+
+    def test_write_json_report(self, tmp_path):
+        reg, rec = self._populated()
+        path = write_json_report(tmp_path / "run.metrics.json", reg, rec)
+        parsed = json.loads(path.read_text())
+        assert parsed["schema"] == SCHEMA_VERSION
+        assert parsed["histograms"]["tcp.rtt_s"]["count"] == 3
+
+    def test_render_report_text(self):
+        reg, rec = self._populated()
+        lines = render_report(reg, rec)
+        text = "\n".join(lines)
+        assert text.startswith("== metrics report ==")
+        assert "tx_packets=5" in text
+        assert "tcp.rtt_s: n=3" in text
+        assert "hip.bex_state x1" in text
+        assert "proxy.request_s" not in text  # empty histograms elided
+
+    def test_defaults_to_global_singletons(self):
+        import repro.net.link  # noqa: F401 — binds link.* counters
+
+        # Smoke-check only: the globals accumulate across the test session.
+        payload = metrics_json()
+        assert payload["schema"] == SCHEMA_VERSION
+        assert "link.tx_packets" in payload["counters"]
+
+
+class TestGlobalSingletons:
+    def test_instrumented_modules_share_the_registry(self):
+        import repro.net.link as link_mod
+
+        assert link_mod._TX_PACKETS is METRICS.counter("link.tx_packets")
+
+    def test_global_recorder_disabled_by_default(self):
+        assert RECORDER.enabled is False

@@ -92,6 +92,30 @@ def test_unhandled_process_crash_surfaces(sim):
         sim.run()
 
 
+def test_multiple_crashes_in_one_step_all_reported(sim):
+    """One event cascade can crash several waiters; every name must surface.
+
+    Regression: ``step()`` used to pop a single crash record, silently
+    discarding the rest.
+    """
+    evt = sim.event()
+
+    def bad(tag):
+        yield evt
+        raise RuntimeError(f"{tag} exploded")
+
+    sim.process(bad("alpha"), name="crash-alpha")
+    sim.process(bad("beta"), name="crash-beta")
+    evt.succeed(None)
+    with pytest.raises(RuntimeError, match="unhandled crash") as excinfo:
+        sim.run()
+    message = str(excinfo.value)
+    assert "crash-alpha" in message
+    assert "crash-beta" in message
+    assert "processes" in message  # plural wording for multi-crash steps
+    assert not sim._crashed  # fully drained, nothing misattributed later
+
+
 def test_run_until_time(sim):
     ticks = []
 
