@@ -1,0 +1,170 @@
+"""Crypto fast-path microbenchmark: reference vs optimized primitives.
+
+Measures the retained pre-optimization implementations
+(:mod:`repro.crypto._reference`, ``AES._encrypt_block_ref``) against the
+shipped T-table/batched/midstate fast path, and writes ``BENCH_crypto.json``
+at the repo root.  The headline acceptance number is the full
+AES-128-CBC + HMAC-SHA1-96 packet transform (IV derivation + encrypt + ICV)
+on a 1400-byte payload, which must improve by >= 5x.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_crypto.py
+
+or via the pytest wrapper ``benchmarks/test_bench_crypto_fastpath.py``
+(which uses shorter repetitions and a conservative floor assertion).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+import sys
+import time
+
+from repro.crypto._reference import cbc_encrypt_ref, hmac_digest_ref
+from repro.crypto.aes import AES
+from repro.crypto.hmac_kdf import HMAC_BACKEND, HmacKey
+from repro.crypto.modes import cbc_encrypt
+from repro.hip.esp import derive_sa_pair
+from repro.net.addresses import ipv6
+from repro.net.packet import IPHeader, Packet, TCPHeader
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+PAYLOAD_BYTES = 1400
+
+
+def _rate(fn, *, min_time: float, min_iters: int = 3) -> float:
+    """Calls/sec of ``fn``, running for at least ``min_time`` seconds."""
+    fn()  # warm up (table/midstate construction, bytecode caches)
+    iters = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        iters += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time and iters >= min_iters:
+            return iters / elapsed
+
+
+def bench_aes_block(min_time: float) -> dict:
+    aes = AES(bytes(range(16)))
+    block = bytes(range(16, 32))
+    ref = _rate(lambda: aes._encrypt_block_ref(block), min_time=min_time)
+    opt = _rate(lambda: aes.encrypt_block(block), min_time=min_time)
+    return {"ref_blocks_per_s": ref, "opt_blocks_per_s": opt, "speedup": opt / ref}
+
+
+def bench_cbc(min_time: float) -> dict:
+    aes = AES(bytes(range(16)))
+    iv = bytes(16)
+    payload = bytes(range(256)) * (PAYLOAD_BYTES // 256) + bytes(PAYLOAD_BYTES % 256)
+    ref = _rate(lambda: cbc_encrypt_ref(aes, iv, payload), min_time=min_time)
+    opt = _rate(lambda: cbc_encrypt(aes, iv, payload), min_time=min_time)
+    return {"ref_pkts_per_s": ref, "opt_pkts_per_s": opt, "speedup": opt / ref}
+
+
+def bench_hmac(min_time: float) -> dict:
+    key = bytes(range(20))
+    payload = bytes(PAYLOAD_BYTES)
+    hk = HmacKey(key, "sha1")
+    ref = _rate(lambda: hmac_digest_ref(key, payload, "sha1"), min_time=min_time)
+    opt = _rate(lambda: hk.digest(payload), min_time=min_time)
+    return {"ref_ops_per_s": ref, "opt_ops_per_s": opt, "speedup": opt / ref}
+
+
+def bench_packet_transform(min_time: float) -> dict:
+    """The ESP steady-state transform: IV HMAC + AES-128-CBC + HMAC-SHA1-96."""
+    enc_key, auth_key = bytes(range(16)), bytes(range(20))
+    aes = AES(enc_key)
+    payload = bytes(range(256)) * (PAYLOAD_BYTES // 256) + bytes(PAYLOAD_BYTES % 256)
+    spi, seq = 0x1000, 42
+
+    def ref_transform():
+        iv = hmac_digest_ref(enc_key, struct.pack(">IQ", spi, seq), "sha1")[:16]
+        ct = cbc_encrypt_ref(aes, iv, payload)
+        return hmac_digest_ref(auth_key, struct.pack(">II", spi, seq) + iv + ct, "sha1")[:12]
+
+    iv_hmac = HmacKey(enc_key, "sha1")
+    icv_hmac = HmacKey(auth_key, "sha1")
+
+    def opt_transform():
+        iv = iv_hmac.digest(struct.pack(">IQ", spi, seq))[:16]
+        ct = cbc_encrypt(aes, iv, payload)
+        return icv_hmac.digest(struct.pack(">II", spi, seq) + iv + ct)[:12]
+
+    assert ref_transform() == opt_transform()  # byte-identical by construction
+    ref = _rate(ref_transform, min_time=min_time)
+    opt = _rate(opt_transform, min_time=min_time)
+    return {"ref_pkts_per_s": ref, "opt_pkts_per_s": opt, "speedup": opt / ref}
+
+
+def bench_esp_end_to_end(packets: int) -> dict:
+    """Wall-clock for protect+verify of real payloads through the ESP stack."""
+    hit_a, hit_b = ipv6("2001:10::a"), ipv6("2001:10::b")
+    keymat = bytes(range(256)) * 2
+    out_sa, _ = derive_sa_pair(keymat[:144], 0x10, 0x20, hit_a, hit_b, True)
+    _, in_sa = derive_sa_pair(keymat[:144], 0x20, 0x10, hit_b, hit_a, False)
+    inner = Packet(
+        headers=(
+            IPHeader(src=hit_a, dst=hit_b, proto="tcp"),
+            TCPHeader(src_port=1000, dst_port=80, seq=5, ack=6),
+        ),
+        payload=bytes(PAYLOAD_BYTES),
+    )
+    out_sa.protect(inner)  # warm up
+    start = time.perf_counter()
+    for _ in range(packets):
+        header, ct = out_sa.protect(inner)
+        in_sa.verify(header, ct)
+    wall = time.perf_counter() - start
+    return {"packets": packets, "wall_clock_s": wall, "pkts_per_s": packets / wall}
+
+
+def run_bench(min_time: float = 1.0, e2e_packets: int = 200) -> dict:
+    results = {
+        "aes128_block_encrypt": bench_aes_block(min_time),
+        "cbc_encrypt_1400B": bench_cbc(min_time),
+        "hmac_sha1_1400B": bench_hmac(min_time),
+        "packet_transform_1400B": bench_packet_transform(min_time),
+        "esp_end_to_end_1400B": bench_esp_end_to_end(e2e_packets),
+    }
+    measured = results["packet_transform_1400B"]["speedup"]
+    return {
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "hmac_backend": HMAC_BACKEND,
+        "payload_bytes": PAYLOAD_BYTES,
+        "results": results,
+        "acceptance": {
+            "metric": "packet_transform_1400B.speedup",
+            "target_speedup": 5.0,
+            "measured_speedup": measured,
+            "pass": measured >= 5.0,
+        },
+    }
+
+
+def write_report(report: dict) -> pathlib.Path:
+    path = REPO_ROOT / "BENCH_crypto.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main() -> int:
+    report = run_bench()
+    path = write_report(report)
+    for name, row in report["results"].items():
+        if "speedup" in row:
+            print(f"{name:28s} speedup {row['speedup']:6.2f}x")
+        else:
+            print(f"{name:28s} {row['pkts_per_s']:8.1f} pkt/s over {row['wall_clock_s']:.2f}s")
+    acc = report["acceptance"]
+    print(f"acceptance: {acc['measured_speedup']:.2f}x vs {acc['target_speedup']}x target "
+          f"-> {'PASS' if acc['pass'] else 'FAIL'}  (written to {path})")
+    return 0 if acc["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Retained pre-optimization reference implementations (pinned baseline).
+
+These are the schoolbook SHA/HMAC/mode loops that shipped before the
+fast-path rewrite of :mod:`repro.crypto.aes`, :mod:`repro.crypto.modes`,
+:mod:`repro.crypto.sha` and :mod:`repro.crypto.hmac_kdf`.  They exist for
+two reasons only:
+
+1. **Differential tests** — ``tests/test_crypto_fastpath.py`` asserts the
+   optimized primitives are byte-identical to these on random inputs, so a
+   perf regression fix can never silently change outputs.
+2. **The perf baseline** — ``benchmarks/bench_crypto.py`` measures both the
+   reference and optimized paths and records the ratio in
+   ``BENCH_crypto.json``.
+
+The naive AES block functions live on :class:`repro.crypto.aes.AES` as
+``_encrypt_block_ref`` / ``_decrypt_block_ref`` (they need the byte-form key
+schedule); everything else is here.  Do not use any of this in protocol
+code.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.modes import pkcs7_pad, pkcs7_unpad
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(x: int, n: int) -> int:
+    return ((x << n) | (x >> (32 - n))) & _MASK32
+
+
+def _rotr32(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & _MASK32
+
+
+def _md_pad(message: bytes) -> bytes:
+    bit_len = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack(">Q", bit_len)
+
+
+def sha1_ref(message: bytes) -> bytes:
+    """Pre-PR SHA-1: branchy 80-step loop with helper-function rotates."""
+    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    padded = _md_pad(message)
+    for off in range(0, len(padded), 64):
+        w = list(struct.unpack(">16I", padded[off : off + 64]))
+        for t in range(16, 80):
+            w.append(_rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif t < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl32(a, 5) + f + e + k + w[t]) & _MASK32
+            e, d, c, b, a = d, c, _rotl32(b, 30), a, temp
+        h = [(x + y) & _MASK32 for x, y in zip(h, (a, b, c, d, e))]
+    return struct.pack(">5I", *h)
+
+
+_SHA256_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+_SHA256_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+
+def sha256_ref(message: bytes) -> bytes:
+    """Pre-PR SHA-256: per-step helper-function rotates."""
+    h = list(_SHA256_H0)
+    padded = _md_pad(message)
+    for off in range(0, len(padded), 64):
+        w = list(struct.unpack(">16I", padded[off : off + 64]))
+        for t in range(16, 64):
+            s0 = _rotr32(w[t - 15], 7) ^ _rotr32(w[t - 15], 18) ^ (w[t - 15] >> 3)
+            s1 = _rotr32(w[t - 2], 17) ^ _rotr32(w[t - 2], 19) ^ (w[t - 2] >> 10)
+            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+        a, b, c, d, e, f, g, hh = h
+        for t in range(64):
+            big_s1 = _rotr32(e, 6) ^ _rotr32(e, 11) ^ _rotr32(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (hh + big_s1 + ch + _SHA256_K[t] + w[t]) & _MASK32
+            big_s0 = _rotr32(a, 2) ^ _rotr32(a, 13) ^ _rotr32(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (big_s0 + maj) & _MASK32
+            hh, g, f, e, d, c, b, a = (
+                g, f, e, (d + temp1) & _MASK32, c, b, a, (temp1 + temp2) & _MASK32,
+            )
+        h = [(x + y) & _MASK32 for x, y in zip(h, (a, b, c, d, e, f, g, hh))]
+    return struct.pack(">8I", *h)
+
+
+_HASHES_REF = {"sha1": sha1_ref, "sha256": sha256_ref}
+
+
+def hmac_digest_ref(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """Pre-PR HMAC: recomputes ipad/opad and both key blocks on every call."""
+    hash_fn = _HASHES_REF[hash_name]
+    block = 64
+    if len(key) > block:
+        key = hash_fn(key)
+    key = key.ljust(block, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    return hash_fn(opad + hash_fn(ipad + message))
+
+
+def _xor_block_ref(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt_ref(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
+    """Pre-PR CBC: per-byte generator XOR + per-block naive AES."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = _xor_block_ref(padded[i : i + BLOCK_SIZE], prev)
+        prev = cipher._encrypt_block_ref(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt_ref(cipher: AES, iv: bytes, ciphertext: bytes) -> bytes:
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext length is not a multiple of the block size")
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        out += _xor_block_ref(cipher._decrypt_block_ref(block), prev)
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_keystream_xor_ref(
+    cipher: AES, nonce: bytes, data: bytes, counter0: int = 0
+) -> bytes:
+    """Pre-PR CTR: rebuilds the counter block by concatenation per block."""
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    out = bytearray()
+    counter = counter0
+    for i in range(0, len(data), BLOCK_SIZE):
+        block = cipher._encrypt_block_ref(nonce + counter.to_bytes(8, "big"))
+        chunk = data[i : i + BLOCK_SIZE]
+        out += _xor_block_ref(chunk, block[: len(chunk)])
+        counter += 1
+    return bytes(out)

@@ -1,9 +1,17 @@
-"""AES block cipher (FIPS-197), pure Python.
+"""AES block cipher (FIPS-197), pure Python, T-table fast path.
 
 Supports 128/192/256-bit keys.  The S-box is derived at import time from the
 GF(2^8) multiplicative inverse plus the affine transform rather than being
 transcribed, so a typo cannot silently corrupt the cipher; known-answer tests
 in ``tests/crypto`` pin the FIPS-197 vectors.
+
+The hot path is the classic 32-bit T-table formulation: four 256-entry
+tables fold SubBytes + ShiftRows + MixColumns into table lookups and XORs
+over packed column words (and four TD tables for the equivalent inverse
+cipher, with InvMixColumns pre-applied to the decryption round keys).  The
+schoolbook byte-matrix implementation is retained as
+``_encrypt_block_ref`` / ``_decrypt_block_ref``; differential tests assert
+the two paths are byte-identical on random inputs.
 
 This is the shared symmetric engine for both the HIP/ESP data plane and the
 TLS record layer — deliberately so, because the paper's core performance
@@ -11,6 +19,12 @@ argument is that the two protocols use the same algorithms.
 """
 
 from __future__ import annotations
+
+import struct
+
+from repro.metrics import METRICS
+
+_AES_BLOCKS = METRICS.counter("crypto.aes_blocks")
 
 
 def _xtime(a: int) -> int:
@@ -67,17 +81,54 @@ _MUL11 = bytes(_gf_mul(x, 11) for x in range(256))
 _MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
 _MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
 
+
+def _build_t_tables() -> tuple:
+    """Encryption tables TE0..3 and decryption tables TD0..3.
+
+    ``TE0[x]`` is MixColumns applied to the column ``(SBOX[x], 0, 0, 0)``
+    packed big-endian; TE1..3 are byte rotations of TE0 so each covers one
+    input row.  TD tables are the same construction over INV_SBOX with the
+    InvMixColumns matrix.
+    """
+    te0, te1, te2, te3 = [0] * 256, [0] * 256, [0] * 256, [0] * 256
+    td0, td1, td2, td3 = [0] * 256, [0] * 256, [0] * 256, [0] * 256
+    for x in range(256):
+        s = SBOX[x]
+        t = (_MUL2[s] << 24) | (s << 16) | (s << 8) | _MUL3[s]
+        te0[x] = t
+        te1[x] = ((t >> 8) | (t << 24)) & 0xFFFFFFFF
+        te2[x] = ((t >> 16) | (t << 16)) & 0xFFFFFFFF
+        te3[x] = ((t >> 24) | (t << 8)) & 0xFFFFFFFF
+        v = INV_SBOX[x]
+        u = (_MUL14[v] << 24) | (_MUL9[v] << 16) | (_MUL13[v] << 8) | _MUL11[v]
+        td0[x] = u
+        td1[x] = ((u >> 8) | (u << 24)) & 0xFFFFFFFF
+        td2[x] = ((u >> 16) | (u << 16)) & 0xFFFFFFFF
+        td3[x] = ((u >> 24) | (u << 8)) & 0xFFFFFFFF
+    return tuple(te0), tuple(te1), tuple(te2), tuple(te3), \
+        tuple(td0), tuple(td1), tuple(td2), tuple(td3)
+
+
+_TE0, _TE1, _TE2, _TE3, _TD0, _TD1, _TD2, _TD3 = _build_t_tables()
+
 BLOCK_SIZE = 16
+
+# One struct.pack call splits the four column words back into 16 bytes; a
+# ``bytes`` subscript yields a cached small int, so this replaces the 24
+# shift/mask operations per round that the obvious formulation needs.
+_PACK4 = struct.Struct(">4I").pack
 
 
 class AES:
     """AES block cipher instance bound to one key.
 
     Use through :mod:`repro.crypto.modes` (CBC/CTR) for anything longer than
-    one block.
+    one block.  ``encrypt_words``/``decrypt_words`` are the zero-copy core
+    the mode loops batch over; ``encrypt_block``/``decrypt_block`` wrap them
+    for single-block byte callers.
     """
 
-    __slots__ = ("key", "rounds", "_round_keys")
+    __slots__ = ("key", "rounds", "_round_keys", "_rk_enc", "_rk_dec")
 
     def __init__(self, key: bytes) -> None:
         if len(key) not in (16, 24, 32):
@@ -85,6 +136,7 @@ class AES:
         self.key = bytes(key)
         self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._round_keys = self._expand_key(self.key)
+        self._rk_enc, self._rk_dec = self._pack_round_keys(self._round_keys)
 
     def _expand_key(self, key: bytes) -> list[list[int]]:
         nk = len(key) // 4
@@ -108,10 +160,236 @@ class AES:
             round_keys.append(rk)
         return round_keys
 
+    def _pack_round_keys(self, round_keys: list[list[int]]) -> tuple[tuple, tuple]:
+        """Pack byte round keys into 32-bit words; derive decryption keys.
+
+        The equivalent inverse cipher wants the encryption schedule in
+        reverse order with InvMixColumns applied to the middle rounds.
+        ``TD0[SBOX[b]]`` is InvMixColumns of the column ``(b, 0, 0, 0)``, so
+        the transform is four lookups per word.
+
+        Both schedules are returned pre-structured for the round loops as
+        ``(first, pairs, penult, final)``: the whitening round, the middle
+        rounds two at a time as flat 8-tuples, the one odd middle round left
+        over (the middle-round count is odd for every AES key size), and the
+        final round.  Unpacking a whole 8-tuple at the loop head costs one
+        instruction and removes all per-round key indexing.
+        """
+        enc = []
+        for rk in round_keys:
+            for c in range(0, 16, 4):
+                enc.append((rk[c] << 24) | (rk[c + 1] << 16) | (rk[c + 2] << 8) | rk[c + 3])
+        dec = []
+        for r in range(self.rounds, -1, -1):
+            rk = round_keys[r]
+            for c in range(0, 16, 4):
+                if 0 < r < self.rounds:
+                    dec.append(
+                        _TD0[SBOX[rk[c]]] ^ _TD1[SBOX[rk[c + 1]]]
+                        ^ _TD2[SBOX[rk[c + 2]]] ^ _TD3[SBOX[rk[c + 3]]]
+                    )
+                else:
+                    dec.append((rk[c] << 24) | (rk[c + 1] << 16) | (rk[c + 2] << 8) | rk[c + 3])
+        return self._structure_schedule(enc), self._structure_schedule(dec)
+
+    def _structure_schedule(self, flat: list[int]) -> tuple:
+        mid = [tuple(flat[4 * r : 4 * r + 4]) for r in range(1, self.rounds)]
+        pairs = tuple(mid[j] + mid[j + 1] for j in range(0, len(mid) - 1, 2))
+        return tuple(flat[0:4]), pairs, mid[-1], tuple(flat[4 * self.rounds :])
+
+    # -- fast path: packed 32-bit column words ---------------------------------
+    def encrypt_words(self, s0: int, s1: int, s2: int, s3: int) -> tuple[int, int, int, int]:
+        """Encrypt one block given as four big-endian column words."""
+        first, pairs, penult, final = self._rk_enc
+        t0, t1, t2, t3 = _TE0, _TE1, _TE2, _TE3
+        pk = _PACK4
+        k0, k1, k2, k3 = first
+        s0 ^= k0
+        s1 ^= k1
+        s2 ^= k2
+        s3 ^= k3
+        for k0, k1, k2, k3, m0, m1, m2, m3 in pairs:
+            b = pk(s0, s1, s2, s3)
+            u0 = t0[b[0]] ^ t1[b[5]] ^ t2[b[10]] ^ t3[b[15]] ^ k0
+            u1 = t0[b[4]] ^ t1[b[9]] ^ t2[b[14]] ^ t3[b[3]] ^ k1
+            u2 = t0[b[8]] ^ t1[b[13]] ^ t2[b[2]] ^ t3[b[7]] ^ k2
+            u3 = t0[b[12]] ^ t1[b[1]] ^ t2[b[6]] ^ t3[b[11]] ^ k3
+            b = pk(u0, u1, u2, u3)
+            s0 = t0[b[0]] ^ t1[b[5]] ^ t2[b[10]] ^ t3[b[15]] ^ m0
+            s1 = t0[b[4]] ^ t1[b[9]] ^ t2[b[14]] ^ t3[b[3]] ^ m1
+            s2 = t0[b[8]] ^ t1[b[13]] ^ t2[b[2]] ^ t3[b[7]] ^ m2
+            s3 = t0[b[12]] ^ t1[b[1]] ^ t2[b[6]] ^ t3[b[11]] ^ m3
+        k0, k1, k2, k3 = penult
+        b = pk(s0, s1, s2, s3)
+        u0 = t0[b[0]] ^ t1[b[5]] ^ t2[b[10]] ^ t3[b[15]] ^ k0
+        u1 = t0[b[4]] ^ t1[b[9]] ^ t2[b[14]] ^ t3[b[3]] ^ k1
+        u2 = t0[b[8]] ^ t1[b[13]] ^ t2[b[2]] ^ t3[b[7]] ^ k2
+        u3 = t0[b[12]] ^ t1[b[1]] ^ t2[b[6]] ^ t3[b[11]] ^ k3
+        sb = SBOX
+        f0, f1, f2, f3 = final
+        b = pk(u0, u1, u2, u3)
+        return (
+            ((sb[b[0]] << 24) | (sb[b[5]] << 16) | (sb[b[10]] << 8) | sb[b[15]]) ^ f0,
+            ((sb[b[4]] << 24) | (sb[b[9]] << 16) | (sb[b[14]] << 8) | sb[b[3]]) ^ f1,
+            ((sb[b[8]] << 24) | (sb[b[13]] << 16) | (sb[b[2]] << 8) | sb[b[7]]) ^ f2,
+            ((sb[b[12]] << 24) | (sb[b[1]] << 16) | (sb[b[6]] << 8) | sb[b[11]]) ^ f3,
+        )
+
+    def decrypt_words(self, s0: int, s1: int, s2: int, s3: int) -> tuple[int, int, int, int]:
+        """Decrypt one block given as four big-endian column words."""
+        first, pairs, penult, final = self._rk_dec
+        t0, t1, t2, t3 = _TD0, _TD1, _TD2, _TD3
+        pk = _PACK4
+        k0, k1, k2, k3 = first
+        s0 ^= k0
+        s1 ^= k1
+        s2 ^= k2
+        s3 ^= k3
+        for k0, k1, k2, k3, m0, m1, m2, m3 in pairs:
+            b = pk(s0, s1, s2, s3)
+            u0 = t0[b[0]] ^ t1[b[13]] ^ t2[b[10]] ^ t3[b[7]] ^ k0
+            u1 = t0[b[4]] ^ t1[b[1]] ^ t2[b[14]] ^ t3[b[11]] ^ k1
+            u2 = t0[b[8]] ^ t1[b[5]] ^ t2[b[2]] ^ t3[b[15]] ^ k2
+            u3 = t0[b[12]] ^ t1[b[9]] ^ t2[b[6]] ^ t3[b[3]] ^ k3
+            b = pk(u0, u1, u2, u3)
+            s0 = t0[b[0]] ^ t1[b[13]] ^ t2[b[10]] ^ t3[b[7]] ^ m0
+            s1 = t0[b[4]] ^ t1[b[1]] ^ t2[b[14]] ^ t3[b[11]] ^ m1
+            s2 = t0[b[8]] ^ t1[b[5]] ^ t2[b[2]] ^ t3[b[15]] ^ m2
+            s3 = t0[b[12]] ^ t1[b[9]] ^ t2[b[6]] ^ t3[b[3]] ^ m3
+        k0, k1, k2, k3 = penult
+        b = pk(s0, s1, s2, s3)
+        u0 = t0[b[0]] ^ t1[b[13]] ^ t2[b[10]] ^ t3[b[7]] ^ k0
+        u1 = t0[b[4]] ^ t1[b[1]] ^ t2[b[14]] ^ t3[b[11]] ^ k1
+        u2 = t0[b[8]] ^ t1[b[5]] ^ t2[b[2]] ^ t3[b[15]] ^ k2
+        u3 = t0[b[12]] ^ t1[b[9]] ^ t2[b[6]] ^ t3[b[3]] ^ k3
+        sb = INV_SBOX
+        f0, f1, f2, f3 = final
+        b = pk(u0, u1, u2, u3)
+        return (
+            ((sb[b[0]] << 24) | (sb[b[13]] << 16) | (sb[b[10]] << 8) | sb[b[7]]) ^ f0,
+            ((sb[b[4]] << 24) | (sb[b[1]] << 16) | (sb[b[14]] << 8) | sb[b[11]]) ^ f1,
+            ((sb[b[8]] << 24) | (sb[b[5]] << 16) | (sb[b[2]] << 8) | sb[b[15]]) ^ f2,
+            ((sb[b[12]] << 24) | (sb[b[9]] << 16) | (sb[b[6]] << 8) | sb[b[3]]) ^ f3,
+        )
+
+    # -- batched CBC cores -------------------------------------------------------
+    # The mode loops in :mod:`repro.crypto.modes` delegate here so the round
+    # structure (key-schedule tuples, T-tables, final-round S-box) is
+    # unpacked once per *message* rather than once per block.  ``padded`` /
+    # ``ciphertext`` must already be a multiple of 16 bytes; padding policy
+    # stays in the modes layer.
+
+    def cbc_encrypt_blocks(self, iv: bytes, padded: bytes) -> bytes:
+        n = len(padded)
+        words = struct.unpack(">%dI" % (n // 4), padded)
+        out = bytearray(n)
+        pack_into = struct.pack_into
+        pk = _PACK4
+        t0, t1, t2, t3 = _TE0, _TE1, _TE2, _TE3
+        sb = SBOX
+        first, pairs, penult, final = self._rk_enc
+        a0, a1, a2, a3 = first
+        n0, n1, n2, n3 = penult
+        f0, f1, f2, f3 = final
+        p0, p1, p2, p3 = struct.unpack(">4I", iv)
+        for i in range(0, n // 4, 4):
+            # Chaining XOR fused with the whitening round key.
+            s0 = words[i] ^ p0 ^ a0
+            s1 = words[i + 1] ^ p1 ^ a1
+            s2 = words[i + 2] ^ p2 ^ a2
+            s3 = words[i + 3] ^ p3 ^ a3
+            for k0, k1, k2, k3, m0, m1, m2, m3 in pairs:
+                b = pk(s0, s1, s2, s3)
+                u0 = t0[b[0]] ^ t1[b[5]] ^ t2[b[10]] ^ t3[b[15]] ^ k0
+                u1 = t0[b[4]] ^ t1[b[9]] ^ t2[b[14]] ^ t3[b[3]] ^ k1
+                u2 = t0[b[8]] ^ t1[b[13]] ^ t2[b[2]] ^ t3[b[7]] ^ k2
+                u3 = t0[b[12]] ^ t1[b[1]] ^ t2[b[6]] ^ t3[b[11]] ^ k3
+                b = pk(u0, u1, u2, u3)
+                s0 = t0[b[0]] ^ t1[b[5]] ^ t2[b[10]] ^ t3[b[15]] ^ m0
+                s1 = t0[b[4]] ^ t1[b[9]] ^ t2[b[14]] ^ t3[b[3]] ^ m1
+                s2 = t0[b[8]] ^ t1[b[13]] ^ t2[b[2]] ^ t3[b[7]] ^ m2
+                s3 = t0[b[12]] ^ t1[b[1]] ^ t2[b[6]] ^ t3[b[11]] ^ m3
+            b = pk(s0, s1, s2, s3)
+            u0 = t0[b[0]] ^ t1[b[5]] ^ t2[b[10]] ^ t3[b[15]] ^ n0
+            u1 = t0[b[4]] ^ t1[b[9]] ^ t2[b[14]] ^ t3[b[3]] ^ n1
+            u2 = t0[b[8]] ^ t1[b[13]] ^ t2[b[2]] ^ t3[b[7]] ^ n2
+            u3 = t0[b[12]] ^ t1[b[1]] ^ t2[b[6]] ^ t3[b[11]] ^ n3
+            b = pk(u0, u1, u2, u3)
+            p0 = ((sb[b[0]] << 24) | (sb[b[5]] << 16) | (sb[b[10]] << 8) | sb[b[15]]) ^ f0
+            p1 = ((sb[b[4]] << 24) | (sb[b[9]] << 16) | (sb[b[14]] << 8) | sb[b[3]]) ^ f1
+            p2 = ((sb[b[8]] << 24) | (sb[b[13]] << 16) | (sb[b[2]] << 8) | sb[b[7]]) ^ f2
+            p3 = ((sb[b[12]] << 24) | (sb[b[1]] << 16) | (sb[b[6]] << 8) | sb[b[11]]) ^ f3
+            pack_into(">4I", out, i * 4, p0, p1, p2, p3)
+        return bytes(out)
+
+    def cbc_decrypt_blocks(self, iv: bytes, ciphertext: bytes) -> bytes:
+        n = len(ciphertext)
+        words = struct.unpack(">%dI" % (n // 4), ciphertext)
+        out = bytearray(n)
+        pack_into = struct.pack_into
+        pk = _PACK4
+        t0, t1, t2, t3 = _TD0, _TD1, _TD2, _TD3
+        sb = INV_SBOX
+        first, pairs, penult, final = self._rk_dec
+        a0, a1, a2, a3 = first
+        n0, n1, n2, n3 = penult
+        f0, f1, f2, f3 = final
+        p0, p1, p2, p3 = struct.unpack(">4I", iv)
+        for i in range(0, n // 4, 4):
+            c0, c1, c2, c3 = words[i], words[i + 1], words[i + 2], words[i + 3]
+            s0 = c0 ^ a0
+            s1 = c1 ^ a1
+            s2 = c2 ^ a2
+            s3 = c3 ^ a3
+            for k0, k1, k2, k3, m0, m1, m2, m3 in pairs:
+                b = pk(s0, s1, s2, s3)
+                u0 = t0[b[0]] ^ t1[b[13]] ^ t2[b[10]] ^ t3[b[7]] ^ k0
+                u1 = t0[b[4]] ^ t1[b[1]] ^ t2[b[14]] ^ t3[b[11]] ^ k1
+                u2 = t0[b[8]] ^ t1[b[5]] ^ t2[b[2]] ^ t3[b[15]] ^ k2
+                u3 = t0[b[12]] ^ t1[b[9]] ^ t2[b[6]] ^ t3[b[3]] ^ k3
+                b = pk(u0, u1, u2, u3)
+                s0 = t0[b[0]] ^ t1[b[13]] ^ t2[b[10]] ^ t3[b[7]] ^ m0
+                s1 = t0[b[4]] ^ t1[b[1]] ^ t2[b[14]] ^ t3[b[11]] ^ m1
+                s2 = t0[b[8]] ^ t1[b[5]] ^ t2[b[2]] ^ t3[b[15]] ^ m2
+                s3 = t0[b[12]] ^ t1[b[9]] ^ t2[b[6]] ^ t3[b[3]] ^ m3
+            b = pk(s0, s1, s2, s3)
+            u0 = t0[b[0]] ^ t1[b[13]] ^ t2[b[10]] ^ t3[b[7]] ^ n0
+            u1 = t0[b[4]] ^ t1[b[1]] ^ t2[b[14]] ^ t3[b[11]] ^ n1
+            u2 = t0[b[8]] ^ t1[b[5]] ^ t2[b[2]] ^ t3[b[15]] ^ n2
+            u3 = t0[b[12]] ^ t1[b[9]] ^ t2[b[6]] ^ t3[b[3]] ^ n3
+            b = pk(u0, u1, u2, u3)
+            pack_into(
+                ">4I", out, i * 4,
+                (((sb[b[0]] << 24) | (sb[b[13]] << 16) | (sb[b[10]] << 8) | sb[b[7]]) ^ f0) ^ p0,
+                (((sb[b[4]] << 24) | (sb[b[1]] << 16) | (sb[b[14]] << 8) | sb[b[11]]) ^ f1) ^ p1,
+                (((sb[b[8]] << 24) | (sb[b[5]] << 16) | (sb[b[2]] << 8) | sb[b[15]]) ^ f2) ^ p2,
+                (((sb[b[12]] << 24) | (sb[b[9]] << 16) | (sb[b[6]] << 8) | sb[b[3]]) ^ f3) ^ p3,
+            )
+            p0, p1, p2, p3 = c0, c1, c2, c3
+        return bytes(out)
+
+    # -- byte API ---------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        _AES_BLOCKS.value += 1
+        w = int.from_bytes(block, "big")
+        out = self.encrypt_words(w >> 96, (w >> 64) & 0xFFFFFFFF, (w >> 32) & 0xFFFFFFFF, w & 0xFFFFFFFF)
+        return ((out[0] << 96) | (out[1] << 64) | (out[2] << 32) | out[3]).to_bytes(16, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        _AES_BLOCKS.value += 1
+        w = int.from_bytes(block, "big")
+        out = self.decrypt_words(w >> 96, (w >> 64) & 0xFFFFFFFF, (w >> 32) & 0xFFFFFFFF, w & 0xFFFFFFFF)
+        return ((out[0] << 96) | (out[1] << 64) | (out[2] << 32) | out[3]).to_bytes(16, "big")
+
+    # -- reference path (pre-optimization, kept for differential tests) ---------
     # State layout: flat list of 16 bytes, column-major as in FIPS-197
     # (state[4*c + r] is row r, column c).
 
-    def encrypt_block(self, block: bytes) -> bytes:
+    def _encrypt_block_ref(self, block: bytes) -> bytes:
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be 16 bytes, got {len(block)}")
         rk = self._round_keys
@@ -123,7 +401,7 @@ class AES:
         s = self._shift_rows(s)
         return bytes(s[i] ^ rk[self.rounds][i] for i in range(16))
 
-    def decrypt_block(self, block: bytes) -> bytes:
+    def _decrypt_block_ref(self, block: bytes) -> bytes:
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be 16 bytes, got {len(block)}")
         rk = self._round_keys

@@ -4,26 +4,111 @@ HIP derives its ESP keys from the Diffie-Hellman secret via a KEYMAT
 expansion (RFC 5201 §6.5) which is structurally HKDF-expand; TLS 1.2 uses a
 P_hash PRF which is also provided here so both protocol stacks share one
 audited primitive set.
+
+:class:`HmacKey` is the steady-state fast path: it folds the ipad and opad
+key blocks through the hash **once at construction** and every subsequent
+:meth:`HmacKey.digest` resumes from the cached midstates — zero
+key-schedule or pad work per message, and two compression calls fewer than
+the naive construction.  ESP security associations and TLS connections each
+hold their ``HmacKey`` for the lifetime of the key (``repro/hip/esp.py``,
+``repro/tls/connection.py``); ``hmac_digest`` stays as the one-shot
+convenience wrapper.
+
+Two interchangeable midstate engines produce byte-identical output:
+
+* ``fast`` (default) — stdlib :mod:`hashlib` objects; ``.copy()`` *is*
+  midstate resumption, at C speed.  ``hashlib`` is part of every CPython
+  build, so this adds no dependency.
+* ``pure`` — this package's own compression-function API
+  (:mod:`repro.crypto.sha`), the auditable reference engine.
+
+Select with ``REPRO_CRYPTO_BACKEND=pure|fast`` (read at import);
+differential tests run both engines against each other and against
+``hmac``/``hashlib``.  The pure SHA implementations remain the canonical
+spec either way — HITs, puzzles and all one-shot ``sha1``/``sha256``
+callers always use them.
 """
 
 from __future__ import annotations
 
-from repro.crypto.sha import BLOCK_SIZES, HASHES
+import hashlib
+import os
+import struct
+
+from repro.metrics import METRICS
+from repro.crypto.sha import (
+    BLOCK_SIZES,
+    COMPRESS,
+    DIGEST_SIZES,
+    HASHES,
+    IVS,
+    PACK_FORMATS,
+    md_finish,
+)
+
+_HMAC_OPS = METRICS.counter("crypto.hmac_ops")
+_HMAC_BYTES = METRICS.counter("crypto.hmac_bytes")
+
+_HASHLIB = {"sha1": hashlib.sha1, "sha256": hashlib.sha256}
+HMAC_BACKEND = os.environ.get("REPRO_CRYPTO_BACKEND", "fast")
+if HMAC_BACKEND not in ("fast", "pure"):
+    raise ValueError(f"REPRO_CRYPTO_BACKEND must be 'fast' or 'pure', got {HMAC_BACKEND!r}")
+
+
+class HmacKey:
+    """HMAC instance bound to one key, with cached ipad/opad midstates."""
+
+    __slots__ = ("hash_name", "digest_size", "_compress", "_fmt", "_inner", "_outer")
+
+    def __init__(self, key: bytes, hash_name: str = "sha256", backend: str | None = None) -> None:
+        try:
+            hash_fn = HASHES[hash_name]
+            block = BLOCK_SIZES[hash_name]
+            compress = COMPRESS[hash_name]
+        except KeyError:
+            raise ValueError(f"unknown hash {hash_name!r}") from None
+        self.hash_name = hash_name
+        self.digest_size = DIGEST_SIZES[hash_name]
+        self._fmt = PACK_FORMATS[hash_name]
+        if len(key) > block:
+            key = hash_fn(key)
+        key = key.ljust(block, b"\x00")
+        ipad = bytes(b ^ 0x36 for b in key)
+        opad = bytes(b ^ 0x5C for b in key)
+        if (backend or HMAC_BACKEND) == "fast":
+            self._compress = None
+            self._inner = _HASHLIB[hash_name](ipad)
+            self._outer = _HASHLIB[hash_name](opad)
+        else:
+            self._compress = compress
+            iv = IVS[hash_name]
+            self._inner = compress(iv, ipad)
+            self._outer = compress(iv, opad)
+
+    def digest(self, message: bytes) -> bytes:
+        """HMAC(key, message), resuming from the cached pad midstates."""
+        _HMAC_OPS.value += 1
+        n = len(message)
+        _HMAC_BYTES.value += n
+        compress = self._compress
+        if compress is None:
+            h = self._inner.copy()
+            h.update(message)
+            outer = self._outer.copy()
+            outer.update(h.digest())
+            return outer.digest()
+        state = self._inner
+        full = n - (n % 64)
+        for off in range(0, full, 64):
+            state = compress(state, message, off)
+        inner = struct.pack(self._fmt, *md_finish(compress, state, message[full:], n + 64))
+        # The inner digest (20/32 bytes) always fits one padded block.
+        return struct.pack(self._fmt, *md_finish(compress, self._outer, inner, 64 + len(inner)))
 
 
 def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
-    """HMAC per RFC 2104."""
-    try:
-        hash_fn = HASHES[hash_name]
-        block = BLOCK_SIZES[hash_name]
-    except KeyError:
-        raise ValueError(f"unknown hash {hash_name!r}") from None
-    if len(key) > block:
-        key = hash_fn(key)
-    key = key.ljust(block, b"\x00")
-    ipad = bytes(b ^ 0x36 for b in key)
-    opad = bytes(b ^ 0x5C for b in key)
-    return hash_fn(opad + hash_fn(ipad + message))
+    """HMAC per RFC 2104 (one-shot; hot paths cache an :class:`HmacKey`)."""
+    return HmacKey(key, hash_name).digest(message)
 
 
 def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
@@ -33,14 +118,18 @@ def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
 
 def hkdf_expand(prk: bytes, info: bytes, length: int, hash_name: str = "sha256") -> bytes:
     """HKDF-Expand: derive ``length`` bytes of output keying material."""
-    digest_len = len(hmac_digest(b"", b"", hash_name))
+    try:
+        digest_len = DIGEST_SIZES[hash_name]
+    except KeyError:
+        raise ValueError(f"unknown hash {hash_name!r}") from None
     if length > 255 * digest_len:
         raise ValueError("requested keying material too long")
+    hk = HmacKey(prk, hash_name)
     okm = b""
     t = b""
     counter = 1
     while len(okm) < length:
-        t = hmac_digest(prk, t + info + bytes([counter]), hash_name)
+        t = hk.digest(t + info + bytes([counter]))
         okm += t
         counter += 1
     return okm[:length]
@@ -70,10 +159,11 @@ def hip_keymat(dh_secret: bytes, hit_i: bytes, hit_r: bytes, length: int) -> byt
 
 def tls_prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
     """TLS 1.2 PRF (RFC 5246 §5): P_SHA256(secret, label + seed)."""
+    hk = HmacKey(secret)
     full_seed = label + seed
     out = b""
     a = full_seed
     while len(out) < length:
-        a = hmac_digest(secret, a)
-        out += hmac_digest(secret, a + full_seed)
+        a = hk.digest(a)
+        out += hk.digest(a + full_seed)
     return out[:length]

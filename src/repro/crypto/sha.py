@@ -5,6 +5,23 @@ revisions; TLS 1.2 PRF and our HMAC use SHA-256.  Both are implemented here
 rather than taken from :mod:`hashlib` so the whole crypto substrate is
 self-contained and auditable; tests cross-check every digest against
 ``hashlib`` on random inputs.
+
+The module exposes two layers:
+
+* ``sha1(message)`` / ``sha256(message)`` — one-shot digests.
+* A compression-function API — ``SHA1_IV``/``SHA256_IV`` initial states,
+  ``sha1_compress``/``sha256_compress`` (one 512-bit block each) and
+  ``md_finish`` (Merkle–Damgård padding over a < 64-byte tail given the
+  true message length).  :class:`repro.crypto.hmac_kdf.HmacKey` uses it to
+  cache the ipad/opad midstates once per key, which is the dominant saving
+  on the per-packet HMAC path.
+
+The compression loops are deliberately flat: rotations are inlined (a left
+shift may carry bits above 2^32 — they only ever propagate *upward* through
+additions and are stripped by the final ``& MASK``), the SHA-1 round
+function is split into its four 20-step phases so there is no per-step
+branching, and message schedules are built once per block.  Known-answer
+and hashlib differential tests pin byte-identical output.
 """
 
 from __future__ import annotations
@@ -13,50 +30,7 @@ import struct
 
 _MASK32 = 0xFFFFFFFF
 
-
-def _rotl32(x: int, n: int) -> int:
-    return ((x << n) | (x >> (32 - n))) & _MASK32
-
-
-def _rotr32(x: int, n: int) -> int:
-    return ((x >> n) | (x << (32 - n))) & _MASK32
-
-
-def _md_pad(message: bytes) -> bytes:
-    """Merkle–Damgård strengthening: 0x80, zeros, 64-bit big-endian bit length."""
-    bit_len = len(message) * 8
-    padded = message + b"\x80"
-    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
-    return padded + struct.pack(">Q", bit_len)
-
-
-def sha1(message: bytes) -> bytes:
-    """SHA-1 digest (20 bytes)."""
-    h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
-    padded = _md_pad(message)
-    for off in range(0, len(padded), 64):
-        w = list(struct.unpack(">16I", padded[off : off + 64]))
-        for t in range(16, 80):
-            w.append(_rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
-        a, b, c, d, e = h
-        for t in range(80):
-            if t < 20:
-                f = (b & c) | (~b & d)
-                k = 0x5A827999
-            elif t < 40:
-                f = b ^ c ^ d
-                k = 0x6ED9EBA1
-            elif t < 60:
-                f = (b & c) | (b & d) | (c & d)
-                k = 0x8F1BBCDC
-            else:
-                f = b ^ c ^ d
-                k = 0xCA62C1D6
-            temp = (_rotl32(a, 5) + f + e + k + w[t]) & _MASK32
-            e, d, c, b, a = d, c, _rotl32(b, 30), a, temp
-        h = [(x + y) & _MASK32 for x, y in zip(h, (a, b, c, d, e))]
-    return struct.pack(">5I", *h)
-
+SHA1_IV = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
 
 _SHA256_K = (
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
@@ -72,37 +46,111 @@ _SHA256_K = (
     0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
 )
 
-_SHA256_H0 = (
+SHA256_IV = (
     0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
     0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
 )
 
 
+def sha1_compress(state: tuple, data, offset: int = 0) -> tuple:
+    """One SHA-1 compression of the 64-byte block at ``data[offset:]``."""
+    M = _MASK32
+    w = list(struct.unpack_from(">16I", data, offset))
+    append = w.append
+    for t in range(16, 80):
+        x = w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]
+        append(((x << 1) | (x >> 31)) & M)
+    a, b, c, d, e = state
+    for t in range(0, 20):
+        temp = (((a << 5) | (a >> 27)) + ((b & c) | (~b & d)) + e + 0x5A827999 + w[t]) & M
+        e, d, c, b, a = d, c, ((b << 30) | (b >> 2)) & M, a, temp
+    for t in range(20, 40):
+        temp = (((a << 5) | (a >> 27)) + (b ^ c ^ d) + e + 0x6ED9EBA1 + w[t]) & M
+        e, d, c, b, a = d, c, ((b << 30) | (b >> 2)) & M, a, temp
+    for t in range(40, 60):
+        temp = (((a << 5) | (a >> 27)) + ((b & c) | (b & d) | (c & d)) + e + 0x8F1BBCDC + w[t]) & M
+        e, d, c, b, a = d, c, ((b << 30) | (b >> 2)) & M, a, temp
+    for t in range(60, 80):
+        temp = (((a << 5) | (a >> 27)) + (b ^ c ^ d) + e + 0xCA62C1D6 + w[t]) & M
+        e, d, c, b, a = d, c, ((b << 30) | (b >> 2)) & M, a, temp
+    h0, h1, h2, h3, h4 = state
+    return ((h0 + a) & M, (h1 + b) & M, (h2 + c) & M, (h3 + d) & M, (h4 + e) & M)
+
+
+def sha256_compress(state: tuple, data, offset: int = 0) -> tuple:
+    """One SHA-256 compression of the 64-byte block at ``data[offset:]``."""
+    M = _MASK32
+    K = _SHA256_K
+    w = list(struct.unpack_from(">16I", data, offset))
+    append = w.append
+    for t in range(16, 64):
+        x = w[t - 15]
+        s0 = (((x >> 7) | (x << 25)) ^ ((x >> 18) | (x << 14)) ^ (x >> 3)) & M
+        y = w[t - 2]
+        s1 = (((y >> 17) | (y << 15)) ^ ((y >> 19) | (y << 13)) ^ (y >> 10)) & M
+        append((w[t - 16] + s0 + w[t - 7] + s1) & M)
+    a, b, c, d, e, f, g, hh = state
+    for t in range(64):
+        big_s1 = (((e >> 6) | (e << 26)) ^ ((e >> 11) | (e << 21)) ^ ((e >> 25) | (e << 7))) & M
+        temp1 = hh + big_s1 + ((e & f) ^ (~e & g)) + K[t] + w[t]
+        big_s0 = (((a >> 2) | (a << 30)) ^ ((a >> 13) | (a << 19)) ^ ((a >> 22) | (a << 10))) & M
+        temp2 = big_s0 + ((a & b) ^ (a & c) ^ (b & c))
+        hh, g, f, e, d, c, b, a = (
+            g, f, e, (d + temp1) & M, c, b, a, (temp1 + temp2) & M,
+        )
+    h = state
+    return (
+        (h[0] + a) & M, (h[1] + b) & M, (h[2] + c) & M, (h[3] + d) & M,
+        (h[4] + e) & M, (h[5] + f) & M, (h[6] + g) & M, (h[7] + hh) & M,
+    )
+
+
+def md_finish(compress, state: tuple, tail: bytes, total_len: int) -> tuple:
+    """Merkle–Damgård finalization: pad ``tail`` (< 64 bytes) and compress.
+
+    ``total_len`` is the length in bytes of the *entire* message, including
+    any blocks already folded into ``state`` (e.g. the HMAC ipad block).
+    """
+    padded = bytes(tail) + b"\x80" + b"\x00" * ((55 - len(tail)) % 64) + struct.pack(
+        ">Q", total_len * 8
+    )
+    state = compress(state, padded)
+    if len(padded) == 128:
+        state = compress(state, padded, 64)
+    return state
+
+
+def _md_pad(message: bytes) -> bytes:
+    """Merkle–Damgård strengthening: 0x80, zeros, 64-bit big-endian bit length."""
+    bit_len = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack(">Q", bit_len)
+
+
+def sha1(message: bytes) -> bytes:
+    """SHA-1 digest (20 bytes)."""
+    state = SHA1_IV
+    n = len(message)
+    full = n - (n % 64)
+    for off in range(0, full, 64):
+        state = sha1_compress(state, message, off)
+    return struct.pack(">5I", *md_finish(sha1_compress, state, message[full:], n))
+
+
 def sha256(message: bytes) -> bytes:
     """SHA-256 digest (32 bytes)."""
-    h = list(_SHA256_H0)
-    padded = _md_pad(message)
-    for off in range(0, len(padded), 64):
-        w = list(struct.unpack(">16I", padded[off : off + 64]))
-        for t in range(16, 64):
-            s0 = _rotr32(w[t - 15], 7) ^ _rotr32(w[t - 15], 18) ^ (w[t - 15] >> 3)
-            s1 = _rotr32(w[t - 2], 17) ^ _rotr32(w[t - 2], 19) ^ (w[t - 2] >> 10)
-            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
-        a, b, c, d, e, f, g, hh = h
-        for t in range(64):
-            big_s1 = _rotr32(e, 6) ^ _rotr32(e, 11) ^ _rotr32(e, 25)
-            ch = (e & f) ^ (~e & g)
-            temp1 = (hh + big_s1 + ch + _SHA256_K[t] + w[t]) & _MASK32
-            big_s0 = _rotr32(a, 2) ^ _rotr32(a, 13) ^ _rotr32(a, 22)
-            maj = (a & b) ^ (a & c) ^ (b & c)
-            temp2 = (big_s0 + maj) & _MASK32
-            hh, g, f, e, d, c, b, a = (
-                g, f, e, (d + temp1) & _MASK32, c, b, a, (temp1 + temp2) & _MASK32,
-            )
-        h = [(x + y) & _MASK32 for x, y in zip(h, (a, b, c, d, e, f, g, hh))]
-    return struct.pack(">8I", *h)
+    state = SHA256_IV
+    n = len(message)
+    full = n - (n % 64)
+    for off in range(0, full, 64):
+        state = sha256_compress(state, message, off)
+    return struct.pack(">8I", *md_finish(sha256_compress, state, message[full:], n))
 
 
 DIGEST_SIZES = {"sha1": 20, "sha256": 32}
 BLOCK_SIZES = {"sha1": 64, "sha256": 64}
 HASHES = {"sha1": sha1, "sha256": sha256}
+IVS = {"sha1": SHA1_IV, "sha256": SHA256_IV}
+COMPRESS = {"sha1": sha1_compress, "sha256": sha256_compress}
+PACK_FORMATS = {"sha1": ">5I", "sha256": ">8I"}

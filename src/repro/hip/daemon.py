@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.crypto.costmodel import CryptoMeter
 from repro.crypto.dh import DHKeyPair, MODP_GROUPS
-from repro.crypto.hmac_kdf import hip_keymat, hmac_digest
+from repro.crypto.hmac_kdf import HmacKey, hip_keymat
 from repro.crypto.puzzle import Puzzle, solve_puzzle, verify_solution
 from repro.hip import packets as hp
 from repro.hip.esp import (
@@ -110,6 +110,10 @@ class Association:
     keymat: bytes = b""
     hmac_key_out: bytes = b""
     hmac_key_in: bytes = b""
+    # Midstate-cached HMAC objects for the control channel (set alongside the
+    # raw keys); every HMAC parameter after the handshake reuses them.
+    hmac_out: HmacKey | None = None
+    hmac_in: HmacKey | None = None
     sa_out: SecurityAssociation | None = None
     sa_in: SecurityAssociation | None = None
     queued: list[tuple[Packet, str]] = field(default_factory=list)
@@ -125,6 +129,12 @@ class Association:
     @property
     def is_established(self) -> bool:
         return self.state == "ESTABLISHED"
+
+    def set_hmac_keys(self, out_key: bytes, in_key: bytes) -> None:
+        """Install control-channel HMAC keys plus their cached midstates."""
+        self.hmac_key_out, self.hmac_key_in = out_key, in_key
+        self.hmac_out = HmacKey(out_key, "sha1")
+        self.hmac_in = HmacKey(in_key, "sha1")
 
 
 class HipDaemon:
@@ -587,7 +597,7 @@ class HipDaemon:
         hmac_in, hmac_out = keymat[:20], keymat[20:40]
         # 4. HMAC then signature (cheap check first, per RFC processing order).
         yield from self._charge("sym.hmac.i2", cm.hmac_cost(200))
-        expect_mac = hmac_digest(hmac_in, i2.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        expect_mac = HmacKey(hmac_in, "sha1").digest(i2.bytes_for_param(hp.HMAC_PARAM))
         if expect_mac != hmac_data:
             return
         yield from self._charge(
@@ -607,7 +617,7 @@ class HipDaemon:
         assoc.peer_locator = ip.src
         assoc.peer_host_id = peer_hi
         assoc.keymat = keymat
-        assoc.hmac_key_in, assoc.hmac_key_out = hmac_in, hmac_out
+        assoc.set_hmac_keys(out_key=hmac_out, in_key=hmac_in)
         local_spi = self._alloc_spi()
         assoc.sa_out, assoc.sa_in = derive_sa_pair(
             keymat[_HIP_KEY_BYTES:], spi_out=peer_spi, spi_in=local_spi,
@@ -619,7 +629,7 @@ class HipDaemon:
         r2 = self._new_packet(hp.R2, assoc.peer_hit)
         r2.add(hp.ESP_INFO, hp.build_esp_info(0, local_spi))
         yield from self._charge("sym.hmac.r2", cm.hmac_cost(120))
-        r2.add(hp.HMAC_PARAM, hmac_digest(hmac_out, r2.bytes_for_param(hp.HMAC_PARAM), "sha1"))
+        r2.add(hp.HMAC_PARAM, assoc.hmac_out.digest(r2.bytes_for_param(hp.HMAC_PARAM)))
         yield from self._charge(
             "asym.sign.r2",
             asym_cost_for_host_id(self.identity.public_key_bytes, "sign", cm),
@@ -674,7 +684,7 @@ class HipDaemon:
             secret + puzzle_i + j, self.hit.packed(), r1.sender_hit.packed(), KEYMAT_BYTES,
         )
         assoc.keymat = keymat
-        assoc.hmac_key_out, assoc.hmac_key_in = keymat[:20], keymat[20:40]
+        assoc.set_hmac_keys(out_key=keymat[:20], in_key=keymat[20:40])
         local_spi = self._alloc_spi()
         assoc.pending_update = {"local_spi": local_spi}
         # Build I2.
@@ -686,7 +696,7 @@ class HipDaemon:
         yield from self._charge("sym.hmac.i2", cm.hmac_cost(400))
         i2.add(
             hp.HMAC_PARAM,
-            hmac_digest(assoc.hmac_key_out, i2.bytes_for_param(hp.HMAC_PARAM), "sha1"),
+            assoc.hmac_out.digest(i2.bytes_for_param(hp.HMAC_PARAM)),
         )
         yield from self._charge(
             "asym.sign.i2",
@@ -709,7 +719,7 @@ class HipDaemon:
         if None in (esp_data, hmac_data, sig_data):
             return
         yield from self._charge("sym.hmac.r2", cm.hmac_cost(120))
-        expect = hmac_digest(assoc.hmac_key_in, r2.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        expect = assoc.hmac_in.digest(r2.bytes_for_param(hp.HMAC_PARAM))
         if expect != hmac_data:
             return
         yield from self._charge(
@@ -802,7 +812,7 @@ class HipDaemon:
         """Attach HMAC (+ signature) and transmit on the association's locator."""
         pkt.add(
             hp.HMAC_PARAM,
-            hmac_digest(assoc.hmac_key_out, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1"),
+            assoc.hmac_out.digest(pkt.bytes_for_param(hp.HMAC_PARAM)),
         )
         self.meter.charge("sym.hmac.ctl", self.node.cost_model.hmac_cost(150))
         if sign:
@@ -823,7 +833,7 @@ class HipDaemon:
         sig_data = pkt.get(hp.HIP_SIGNATURE)
         if hmac_data is None or sig_data is None:
             return False
-        expect = hmac_digest(assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        expect = assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM))
         if expect != hmac_data:
             return False
         return verify_with_host_id(
@@ -839,7 +849,7 @@ class HipDaemon:
         hmac_data = pkt.get(hp.HMAC_PARAM)
         if hmac_data is None:
             return
-        expect = hmac_digest(assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        expect = assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM))
         if expect != hmac_data:
             return
 
@@ -948,7 +958,7 @@ class HipDaemon:
         hmac_data = pkt.get(hp.HMAC_PARAM)
         if hmac_data is None:
             return
-        expect = hmac_digest(assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1")
+        expect = assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM))
         if expect != hmac_data:
             return
         echo = pkt.get(hp.ECHO_REQUEST_SIGNED) or b""

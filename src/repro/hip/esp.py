@@ -24,7 +24,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.crypto.aes import AES
-from repro.crypto.hmac_kdf import hmac_digest
+from repro.crypto.hmac_kdf import HmacKey
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
 from repro.metrics import METRICS
 from repro.net.addresses import IPAddress
@@ -138,6 +138,10 @@ class SecurityAssociation:
         self.mode = mode
         self.encrypt = encrypt
         self._aes = AES(enc_key)
+        # Midstate-cached HMAC keys: the per-packet IV derivation and ICV
+        # computation do zero key-schedule or pad work in steady state.
+        self._iv_hmac = HmacKey(enc_key, "sha1")
+        self._icv_hmac = HmacKey(auth_key, "sha1")
         self.seq = 0
         # Anti-replay: highest seq seen + bitmask of the window below it.
         self._replay_top = 0
@@ -164,10 +168,10 @@ class SecurityAssociation:
             icv_len=ICV_LEN, pad_len=pad_len,
         )
         if real is not None and self.encrypt:
-            iv = hmac_digest(self.enc_key, struct.pack(">IQ", self.spi, self.seq), "sha1")[:16]
+            iv = self._iv_hmac.digest(struct.pack(">IQ", self.spi, self.seq))[:16]
             ciphertext = cbc_encrypt(self._aes, iv, real)
-            icv = hmac_digest(
-                self.auth_key, struct.pack(">II", self.spi, self.seq) + iv + ciphertext, "sha1"
+            icv = self._icv_hmac.digest(
+                struct.pack(">II", self.spi, self.seq) + iv + ciphertext
             )[:ICV_LEN]
             # Padding/IV/ICV are accounted in ESPHeader.header_len, so the
             # ciphertext contributes exactly the plaintext length.
@@ -192,10 +196,8 @@ class SecurityAssociation:
         self._check_replay(header.seq)
         if payload.ciphertext is not None:
             assert payload.iv is not None and payload.icv is not None
-            expect_icv = hmac_digest(
-                self.auth_key,
-                struct.pack(">II", header.spi, header.seq) + payload.iv + payload.ciphertext,
-                "sha1",
+            expect_icv = self._icv_hmac.digest(
+                struct.pack(">II", header.spi, header.seq) + payload.iv + payload.ciphertext
             )[:ICV_LEN]
             if expect_icv != payload.icv:
                 self.auth_failures += 1

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.crypto.aes import AES
 from repro.crypto.costmodel import CryptoMeter
-from repro.crypto.hmac_kdf import hmac_digest, tls_prf
+from repro.crypto.hmac_kdf import HmacKey, tls_prf
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
 from repro.crypto.rsa import RsaError, RsaKeyPair, RsaPublicKey
 from repro.crypto.sha import sha256
@@ -118,6 +118,10 @@ class TlsConnection:
         else:
             self._mac_out, self._mac_in = s_mac, c_mac
             self._aes_out, self._aes_in = AES(s_key), AES(c_key)
+        # Midstate-cached record MAC keys, one per direction for the
+        # connection's lifetime (steady-state records skip all pad work).
+        self._hmac_out = HmacKey(self._mac_out, "sha1")
+        self._hmac_in = HmacKey(self._mac_in, "sha1")
         self._seq_out = 0
         self._seq_in = 0
         self._leftover = None  # partial plaintext from recv_bytes
@@ -135,9 +139,9 @@ class TlsConnection:
         self._seq_out += 1
         self.records_sent += 1
         if isinstance(payload, (bytes, bytearray)):
-            iv = hmac_digest(self._mac_out, struct.pack(">Q", self._seq_out), "sha1")[:IV_LEN]
-            mac = hmac_digest(
-                self._mac_out, struct.pack(">Q", self._seq_out) + bytes(payload), "sha1"
+            iv = self._hmac_out.digest(struct.pack(">Q", self._seq_out))[:IV_LEN]
+            mac = self._hmac_out.digest(
+                struct.pack(">Q", self._seq_out) + bytes(payload)
             )
             ciphertext = cbc_encrypt(self._aes_out, iv, bytes(payload) + mac)
             self.conn.write(struct.pack(">BHH", 23, 0, len(ciphertext) + IV_LEN))
@@ -195,7 +199,7 @@ class TlsConnection:
         if len(plain_mac) < MAC_LEN:
             raise TlsError("record too short for MAC")
         plain, mac = plain_mac[:-MAC_LEN], plain_mac[-MAC_LEN:]
-        expect = hmac_digest(self._mac_in, struct.pack(">Q", self._seq_in) + plain, "sha1")
+        expect = self._hmac_in.digest(struct.pack(">Q", self._seq_in) + plain)
         if expect != mac:
             raise TlsError("record MAC verification failed")
         return plain
