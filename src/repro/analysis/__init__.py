@@ -1,0 +1,39 @@
+"""Static determinism & protocol-invariant linter for the repro stack.
+
+Every experiment in EXPERIMENTS.md is only trustworthy because the simulator
+is deterministic: all stochastic draws flow through named
+:class:`~repro.sim.rng.RngStreams` and no component reads the wall clock.
+This package *enforces* that discipline mechanically:
+
+* :mod:`repro.analysis.rules` — repo-specific AST checkers (rule ids
+  ``DET001``..., see ``--list-rules``);
+* :mod:`repro.analysis.runner` — file discovery, suppression handling and
+  the ``python -m repro.analysis`` CLI;
+* :mod:`repro.analysis.report` — text and strict-JSON reporters (schema
+  ``repro-analysis/1``, sibling of ``repro-metrics/1``);
+* :mod:`repro.analysis.replay` — the *dynamic* complement: run a scenario
+  twice under one seed and compare flight-recorder digests.
+
+Findings are suppressed inline with a justified comment::
+
+    something_flagged()  # repro: ignore[DET001] -- why this one is fine
+
+An unjustified or unused suppression is itself a finding in ``--strict``
+mode, so the suppression inventory stays honest.
+"""
+
+from repro.analysis.findings import Finding, Suppression
+from repro.analysis.report import ANALYSIS_SCHEMA, analysis_json, render_text
+from repro.analysis.runner import AnalysisResult, analyze_paths, analyze_source, main
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "AnalysisResult",
+    "Finding",
+    "Suppression",
+    "analysis_json",
+    "analyze_paths",
+    "analyze_source",
+    "main",
+    "render_text",
+]

@@ -1,0 +1,141 @@
+"""Checker framework: module context, visitor base class, rule registry."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+
+def _parts(path: str) -> tuple[str, ...]:
+    return tuple(part for part in path.replace("\\", "/").split("/") if part)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a checker may need about the module under analysis."""
+
+    path: str  # as reported in findings (repo-relative when possible)
+    source: str
+    tree: ast.Module
+    findings: list[Finding] = field(default_factory=list)
+    _aliases: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._collect_aliases()
+
+    # -- scope ---------------------------------------------------------------
+    @property
+    def is_product(self) -> bool:
+        """True for modules inside the ``repro`` package (the simulator
+        proper), where the determinism contract is binding.  Test and
+        benchmark code may use the wall clock and ad-hoc randomness freely."""
+        parts = _parts(self.path)
+        return "repro" in parts and "tests" not in parts
+
+    @property
+    def is_rng_module(self) -> bool:
+        """``sim/rng.py`` — the one place allowed to construct ``Random``."""
+        return _parts(self.path)[-2:] == ("sim", "rng.py")
+
+    # -- reporting -----------------------------------------------------------
+    def add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- import resolution -----------------------------------------------------
+    def _collect_aliases(self) -> None:
+        """Map local names to the dotted stdlib name they were imported as.
+
+        ``import random as _r``      -> ``_r: random``
+        ``from time import time``    -> ``time: time.time``
+        ``from datetime import datetime as dt`` -> ``dt: datetime.datetime``
+        """
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted name of a call target with import aliases expanded.
+
+        ``time.time()`` -> ``time.time``; after ``import random as _r``,
+        ``_r.Random()`` -> ``random.Random``.  Calls on non-name bases
+        (``self.rng.random()``) resolve to ``None`` — only *module-level*
+        access is traceable statically, which is exactly what the
+        determinism rules police.
+        """
+        chain: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id, node.id)
+        chain.append(base)
+        return ".".join(reversed(chain))
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one rule.  Subclasses set ``rule``/``description`` and
+    visit nodes, calling :meth:`report` on violations."""
+
+    rule: str = ""
+    description: str = ""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+
+    @classmethod
+    def applies(cls, ctx: ModuleContext) -> bool:
+        """Override to scope the rule (default: every analyzed file)."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.add(self.rule, node, message)
+
+    def run(self) -> None:
+        self.visit(self.ctx.tree)
+
+
+class ProductChecker(Checker):
+    """A rule binding only inside the ``repro`` package."""
+
+    @classmethod
+    def applies(cls, ctx: ModuleContext) -> bool:
+        return ctx.is_product
+
+
+REGISTRY: list[type[Checker]] = []
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    if not cls.rule:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if any(existing.rule == cls.rule for existing in REGISTRY):
+        raise ValueError(f"duplicate rule id {cls.rule}")
+    REGISTRY.append(cls)
+    return cls
+
+
+def registered_rules() -> dict[str, str]:
+    """rule id -> description, for ``--list-rules`` and the JSON report."""
+    return {cls.rule: cls.description for cls in REGISTRY}

@@ -1,0 +1,230 @@
+"""File discovery, suppression application and the CLI.
+
+``python -m repro.analysis src tests --strict`` is the canonical invocation
+(CI runs exactly that).  Exit status: 0 when clean, 1 when any active
+finding survives, 2 on usage errors.  Without ``--strict`` the suppression
+hygiene meta-rules (ANA001/ANA002) are reported but do not gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+
+from repro.analysis.base import REGISTRY, ModuleContext, registered_rules
+from repro.analysis.findings import Finding, Suppression, parse_suppressions
+from repro.analysis.report import META_RULES, analysis_json, render_text
+
+# Ensure the rule registry is populated before any analysis runs.
+import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+_HYGIENE_RULES = ("ANA001", "ANA002")
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, pre-partitioned for the reporters."""
+
+    files_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def gating(self, strict: bool) -> list[Finding]:
+        """Findings that should fail the build."""
+        return [
+            f
+            for f in self.active
+            if strict or f.rule not in _HYGIENE_RULES
+        ]
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+
+def _apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Match findings against suppression comments; emit hygiene findings.
+
+    A suppression on the finding's own line, or standalone on the line just
+    above, covers it.  Meta-findings (ANA*) are never suppressible — the
+    inventory must stay inspectable.
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.target_line, []).append(sup)
+
+    out: list[Finding] = []
+    for finding in findings:
+        sup = None
+        if finding.rule not in META_RULES:
+            for candidate in by_line.get(finding.line, []):
+                if candidate.covers(finding.rule):
+                    sup = candidate
+                    break
+        if sup is None:
+            out.append(finding)
+        else:
+            sup.used = True
+            out.append(finding.suppress(sup.justification))
+
+    for sup in suppressions:
+        if not sup.justification:
+            out.append(
+                Finding(
+                    path=sup.path,
+                    line=sup.line,
+                    col=0,
+                    rule="ANA001",
+                    message=(
+                        "suppression without justification; write "
+                        "`# repro: ignore[RULE] -- why this is fine`"
+                    ),
+                )
+            )
+        if not sup.used:
+            out.append(
+                Finding(
+                    path=sup.path,
+                    line=sup.line,
+                    col=0,
+                    rule="ANA002",
+                    message=(
+                        f"suppression for {', '.join(sorted(sup.rules))} "
+                        "matched no finding; remove it"
+                    ),
+                )
+            )
+    return out
+
+
+def analyze_source(
+    source: str, path: str, rules: set[str] | None = None
+) -> list[Finding]:
+    """Analyze one module's text; ``path`` drives rule scoping.
+
+    ``rules`` restricts which checkers run (None = all registered).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="ANA000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    for checker_cls in REGISTRY:
+        if rules is not None and checker_cls.rule not in rules:
+            continue
+        if checker_cls.applies(ctx):
+            checker_cls(ctx).run()
+    return _apply_suppressions(ctx.findings, parse_suppressions(source, path))
+
+
+def _iter_python_files(paths: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    # Stable discovery order: the report must not depend on filesystem order.
+    return sorted(set(files))
+
+
+def analyze_paths(
+    paths: list[str], rules: set[str] | None = None
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths`` (files or directories)."""
+    result = AnalysisResult()
+    for file_path in _iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.extend(
+                [
+                    Finding(
+                        path=str(file_path),
+                        line=0,
+                        col=0,
+                        rule="ANA000",
+                        message=f"unreadable: {exc}",
+                    )
+                ]
+            )
+            continue
+        result.files_checked += 1
+        result.extend(analyze_source(source, str(file_path), rules=rules))
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based determinism & protocol-invariant linter",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on suppression-hygiene findings (ANA001/ANA002)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(
+            {**registered_rules(), **META_RULES}.items()
+        ):
+            print(f"{rule}  {description}")
+        return 0
+
+    selected = None
+    if args.rules:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = selected - set(registered_rules())
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    result = analyze_paths(args.paths, rules=selected)
+    if args.format == "json":
+        print(json.dumps(analysis_json(result), indent=2, sort_keys=True))
+    else:
+        for line in render_text(result):
+            print(line)
+    return 1 if result.gating(args.strict) else 0

@@ -40,6 +40,10 @@ class FlightRecorder:
         self._buf: deque[TraceEvent] = deque(maxlen=capacity)
         self.recorded = 0  # total record() calls, including evicted events
         self._tally: dict[tuple[str, str], int] = {}
+        # Optional per-event tap, called with each TraceEvent as it is
+        # recorded (before ring eviction).  The replay sanitizer uses this to
+        # digest the *full* stream, not just the buffered tail.
+        self.sink = None
 
     # -- recording -----------------------------------------------------------
     def record(self, t: float, layer: str, event: str, **fields) -> None:
@@ -51,7 +55,10 @@ class FlightRecorder:
         self.recorded += 1
         key = (layer, event)
         self._tally[key] = self._tally.get(key, 0) + 1
-        self._buf.append(TraceEvent(t, layer, event, fields))
+        ev = TraceEvent(t, layer, event, fields)
+        self._buf.append(ev)
+        if self.sink is not None:
+            self.sink(ev)
 
     # -- lifecycle -----------------------------------------------------------
     def enable(self, capacity: int | None = None) -> None:

@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.apps.iperf import run_iperf
@@ -65,6 +64,7 @@ def run_fig2_point(
     )
     done = sim.process(workload.run(duration), name="fig2-workload")
     result: WorkloadResult = sim.run(until=done)
+    sim.close()  # finalize abandoned handlers deterministically
     return Fig2Point(
         security=security, clients=n_clients,
         throughput=result.throughput, mean_latency=result.mean_latency(),
@@ -119,6 +119,7 @@ def run_httperf_point(
     )
     done = sim.process(generator.run(duration), name="httperf")
     result: WorkloadResult = sim.run(until=done)
+    sim.close()  # finalize abandoned handlers deterministically
     latencies_ms = [s * 1e3 for s in result.latencies()]
     summary = describe(latencies_ms)
     return HttperfPoint(
@@ -243,4 +244,5 @@ def _run_fig3_mode(
 
     done = sim.process(main(), name=f"fig3-{mode}")
     sim.run(until=done)
+    sim.close()  # finalize abandoned handlers deterministically
     return Fig3Point(mode=mode, throughput_mbps=out["mbps"], rtt_ms=out["rtt"] * 1e3)

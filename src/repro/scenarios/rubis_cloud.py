@@ -19,7 +19,6 @@ The builder is deterministic in ``seed``.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 

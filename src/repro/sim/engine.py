@@ -34,6 +34,10 @@ class Simulator:
         self._seq = 0
         self._active_process: Process | None = None
         self._crashed: list[tuple[Process, BaseException]] = []
+        # Live processes in creation order (pid -> Process), pruned on
+        # completion.  close() finalizes the stragglers deterministically.
+        self._processes: dict[int, Process] = {}
+        self._next_pid = 0
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -70,6 +74,59 @@ class Simulator:
     def _schedule(self, event: Event, delay: float) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    # -- process registry (internal) -------------------------------------------
+    def _register_process(self, proc: Process) -> int:
+        self._next_pid += 1
+        self._processes[self._next_pid] = proc
+        return self._next_pid
+
+    def _forget_process(self, proc: Process) -> None:
+        self._processes.pop(proc._pid, None)
+
+    # -- shutdown ---------------------------------------------------------------
+    def close(self) -> int:
+        """Deterministically finalize every still-suspended process.
+
+        A process abandoned mid-wait (a server handler parked on a read when
+        the run ends, a client whose peer aborted) holds a suspended
+        generator frame.  Left alone, CPython's *garbage collector* finalizes
+        it at some arbitrary later point — and its ``finally`` blocks then
+        send packets and bump process-global metrics from a dead simulation,
+        which is exactly the kind of nondeterminism the replay sanitizer
+        exists to catch.  ``close()`` runs those finalizers *now*, in process
+        creation order, then drops the event heap.  Returns the number of
+        processes closed.  The simulator must not be run afterwards.
+        """
+        closed = 0
+        errors: list[tuple[str, BaseException]] = []
+        # Cleanup code may spawn new processes; sweep in rounds, but bound
+        # them so a pathological spawn loop cannot hang shutdown.
+        for _round in range(8):
+            if not self._processes:
+                break
+            batch = list(self._processes.values())
+            self._processes.clear()
+            for proc in batch:
+                if not proc.is_alive:
+                    continue
+                closed += 1
+                try:
+                    proc.close()
+                except Exception as exc:
+                    errors.append((proc.name, exc))
+        self._processes.clear()
+        self._heap.clear()
+        if errors:
+            detail = ", ".join(f"{name!r}: {exc!r}" for name, exc in errors)
+            raise RuntimeError(f"process finalizers raised during close: {detail}")
+        return closed
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- run loop --------------------------------------------------------------
     def step(self) -> None:

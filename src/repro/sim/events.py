@@ -118,7 +118,7 @@ class Process(Event):
     processes wait for each other simply by yielding the process handle.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name")
+    __slots__ = ("generator", "_waiting_on", "name", "_pid")
 
     def __init__(
         self,
@@ -132,6 +132,7 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event | None = None
+        self._pid = sim._register_process(self)
         # Bootstrap: resume once at the current time.
         boot = Event(sim)
         boot.callbacks.append(self._resume)
@@ -152,6 +153,33 @@ class Process(Event):
         evt = Event(self.sim)
         evt.callbacks.append(self._deliver_interrupt)
         evt.fail(Interrupt(cause))
+
+    def close(self) -> None:
+        """Finalize the generator *now* (throws ``GeneratorExit`` into it).
+
+        Detaches from whatever event the process was waiting on, so its
+        ``finally`` blocks run at a deterministic, caller-chosen point rather
+        than whenever the garbage collector happens to reach the suspended
+        frame.  Cleanup code may still send packets or record trace events;
+        anything it schedules simply stays on the heap.  No-op on a finished
+        process.
+        """
+        if not self.is_alive:
+            return
+        target = self._waiting_on
+        if target is not None:
+            in_list_remove(target.callbacks, self._resume)
+            self._waiting_on = None
+        try:
+            self.generator.close()
+        finally:
+            self.sim._forget_process(self)
+            if self._state == PENDING:
+                # Shutdown semantics: the process is over, nobody gets
+                # resumed.  Waiters' callbacks are intentionally dropped.
+                self._ok = False
+                self._value = GeneratorExit("process closed")
+                self._state = PROCESSED
 
     def _deliver_interrupt(self, evt: Event) -> None:
         if not self.is_alive:
@@ -179,12 +207,14 @@ class Process(Event):
                 target = self.generator.send(send)
         except StopIteration as exc:
             sim._active_process = None
+            sim._forget_process(self)
             self.succeed(exc.value)
             return
         except BaseException as exc:
             sim._active_process = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
+            sim._forget_process(self)
             self.fail(exc)
             if not self.callbacks:
                 # Nobody is waiting on this process: surface the crash.

@@ -1,0 +1,324 @@
+"""Analyzer tests: per-rule positive/negative fixtures, suppression
+handling, reporter schema, CLI exit codes, and a self-check that the repo's
+own tree is clean under ``--strict``.
+
+The fixture table is keyed by rule id and cross-checked against the
+registry, so deleting (or unregistering) any rule implementation fails the
+corresponding positive case here.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+import repro
+from repro.analysis import ANALYSIS_SCHEMA, analysis_json, analyze_paths, analyze_source
+from repro.analysis.base import registered_rules
+from repro.analysis.runner import main as analysis_main
+
+PRODUCT = "src/repro/fake/module.py"  # scoped like simulator code
+TESTCODE = "tests/test_fake.py"  # scoped like test code
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+
+
+def active(source: str, path: str = PRODUCT) -> list:
+    return [f for f in analyze_source(textwrap.dedent(source), path) if not f.suppressed]
+
+
+def rule_ids(source: str, path: str = PRODUCT) -> set[str]:
+    return {f.rule for f in active(source, path)}
+
+
+# Per-rule fixtures: each entry is (snippets that must fire, snippets that
+# must stay silent) under product scope.
+FIXTURES: dict[str, tuple[list[str], list[str]]] = {
+    "DET001": (
+        [
+            "import time\nx = time.time()\n",
+            "import time\nx = time.monotonic()\n",
+            "from time import perf_counter\nx = perf_counter()\n",
+            "from datetime import datetime\nd = datetime.now()\n",
+            "import datetime\nd = datetime.datetime.utcnow()\n",
+            "import os\nb = os.urandom(16)\n",
+            "import uuid\nu = uuid.uuid4()\n",
+            "import secrets\nt = secrets.token_bytes(8)\n",
+        ],
+        [
+            "x = sim.now\n",
+            "import time\ntime.sleep(1)\n",  # blocking, but not a clock read
+            "t = obj.time()\n",  # method on an object, not the module
+        ],
+    ),
+    "DET002": (
+        [
+            "import random\nx = random.random()\n",
+            "import random as _r\nrng = _r.Random(3)\n",
+            "from random import randint\nx = randint(1, 6)\n",
+            "import random\nrandom.shuffle(items)\n",
+        ],
+        [
+            # Injected-RNG idiom: annotation plus draws on the parameter.
+            "import random\ndef f(rng: random.Random) -> float:\n    return rng.random()\n",
+            "x = self.rng.randint(0, 9)\n",
+        ],
+    ),
+    "DET003": (
+        [
+            "for x in {1, 2, 3}:\n    pass\n",
+            "for x in set(xs):\n    pass\n",
+            "ys = [y for y in set(xs)]\n",
+            "order = sorted(xs, key=id)\n",
+            "xs.sort(key=lambda o: id(o))\n",
+        ],
+        [
+            "for x in sorted(set(xs)):\n    pass\n",
+            "for k in mapping:\n    pass\n",
+            "best = min(xs, key=len)\n",
+            "present = x in {1, 2, 3}\n",  # membership, not iteration
+        ],
+    ),
+    "MET001": (
+        [
+            "RECORDER.record(1.0, 'tcp', 'tx')\n",
+            "def f():\n    RECORDER.record(0.0, 'link', 'rx', n=1)\n",
+            # An enabled-check somewhere else does not guard the else arm.
+            "if RECORDER.enabled:\n    pass\nelse:\n    RECORDER.record(0.0, 'a', 'b')\n",
+        ],
+        [
+            "if RECORDER.enabled:\n    RECORDER.record(1.0, 'tcp', 'tx')\n",
+            "if RECORDER.enabled and verbose:\n    RECORDER.record(1.0, 'a', 'b')\n",
+            "rec.record(1.0, 'a', 'b')\n",  # not the global singleton
+        ],
+    ),
+    "EXC001": (
+        [
+            "try:\n    f()\nexcept:\n    handle()\n",
+            "try:\n    f()\nexcept Exception:\n    pass\n",
+            "try:\n    f()\nexcept (ValueError, Exception):\n    ...\n",
+        ],
+        [
+            "try:\n    f()\nexcept ValueError:\n    pass\n",
+            "try:\n    f()\nexcept Exception:\n    raise\n",
+            "try:\n    f()\nexcept Exception as exc:\n    log(exc)\n",
+        ],
+    ),
+    "ARG001": (
+        [
+            "def f(a=[]):\n    pass\n",
+            "def f(*, b={}):\n    pass\n",
+            "def f(c=set()):\n    pass\n",
+            "def f(d=dict()):\n    pass\n",
+            "from collections import deque\ndef f(q=deque()):\n    pass\n",
+            "g = lambda acc=[]: acc\n",
+        ],
+        [
+            "def f(a=None):\n    pass\n",
+            "def f(a=frozenset()):\n    pass\n",
+            "def f(a=()):\n    pass\n",
+            "def f(a=0, b='x'):\n    pass\n",
+        ],
+    ),
+}
+
+
+def test_fixture_table_covers_every_registered_rule():
+    assert set(FIXTURES) == set(registered_rules())
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_fires_on_positive_fixtures(rule):
+    for snippet in FIXTURES[rule][0]:
+        assert rule in rule_ids(snippet), f"{rule} silent on: {snippet!r}"
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_silent_on_negative_fixtures(rule):
+    for snippet in FIXTURES[rule][1]:
+        assert rule not in rule_ids(snippet), f"{rule} fired on: {snippet!r}"
+
+
+# ---------------------------------------------------------------- scoping --
+
+
+def test_determinism_rules_do_not_bind_in_test_code():
+    clocky = "import time\nx = time.time()\nimport random\ny = random.random()\n"
+    assert rule_ids(clocky, path=TESTCODE) == set()
+
+
+def test_arg001_binds_in_test_code_too():
+    assert "ARG001" in rule_ids("def f(a=[]):\n    pass\n", path=TESTCODE)
+
+
+def test_rng_module_is_exempt_from_det002():
+    src = "import random\nrng = random.Random(7)\n"
+    assert "DET002" not in rule_ids(src, path="src/repro/sim/rng.py")
+    assert "DET002" in rule_ids(src, path="src/repro/sim/engine.py")
+
+
+# ------------------------------------------------------------ suppression --
+
+
+def test_same_line_suppression_with_justification():
+    src = "import time\nx = time.time()  # repro: ignore[DET001] -- calibration only\n"
+    findings = analyze_source(src, PRODUCT)
+    det = [f for f in findings if f.rule == "DET001"]
+    assert len(det) == 1 and det[0].suppressed
+    assert det[0].justification == "calibration only"
+    assert not [f for f in findings if f.rule.startswith("ANA")]
+
+
+def test_standalone_suppression_covers_next_line():
+    src = (
+        "import time\n"
+        "# repro: ignore[DET001] -- measuring the host on purpose\n"
+        "x = time.time()\n"
+    )
+    findings = analyze_source(src, PRODUCT)
+    assert [f.rule for f in findings if not f.suppressed] == []
+
+
+def test_wildcard_suppression():
+    src = "import time, random\nx = time.time() + random.random()  # repro: ignore[*] -- fixture\n"
+    findings = analyze_source(src, PRODUCT)
+    assert all(f.suppressed for f in findings if f.rule.startswith("DET"))
+
+
+def test_suppression_without_justification_is_ana001():
+    src = "import time\nx = time.time()  # repro: ignore[DET001]\n"
+    assert "ANA001" in {f.rule for f in analyze_source(src, PRODUCT)}
+
+
+def test_unused_suppression_is_ana002():
+    src = "x = 1  # repro: ignore[DET001] -- nothing here\n"
+    assert "ANA002" in {f.rule for f in analyze_source(src, PRODUCT)}
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    src = "import time\nx = time.time()  # repro: ignore[DET002] -- wrong rule\n"
+    rules = {f.rule for f in analyze_source(src, PRODUCT) if not f.suppressed}
+    assert "DET001" in rules and "ANA002" in rules
+
+
+def test_directive_inside_string_is_not_a_suppression():
+    src = 'import time\nmsg = "# repro: ignore[DET001] -- not a comment"\nx = time.time()\n'
+    assert "DET001" in rule_ids(src)
+
+
+def test_syntax_error_reports_ana000():
+    assert {f.rule for f in analyze_source("def f(:\n", PRODUCT)} == {"ANA000"}
+
+
+# -------------------------------------------------------------- reporters --
+
+
+def _write_tree(root: pathlib.Path) -> None:
+    product = root / "src" / "repro" / "mod.py"
+    product.parent.mkdir(parents=True)
+    product.write_text(
+        "import time\n"
+        "x = time.time()\n"
+        "y = time.monotonic()  # repro: ignore[DET001] -- fixture exercises suppression\n"
+    )
+    testfile = root / "tests" / "test_mod.py"
+    testfile.parent.mkdir(parents=True)
+    testfile.write_text("def f(a=[]):\n    pass\n")
+
+
+def test_json_report_schema_round_trip(tmp_path):
+    _write_tree(tmp_path)
+    result = analyze_paths([str(tmp_path / "src"), str(tmp_path / "tests")])
+    payload = analysis_json(result)
+    # Strict JSON: no NaN, round-trips losslessly.
+    parsed = json.loads(json.dumps(payload, allow_nan=False, sort_keys=True))
+    assert parsed == payload
+    assert parsed["schema"] == ANALYSIS_SCHEMA
+    assert parsed["files"] == 2
+    assert parsed["clean"] is False
+    assert parsed["counts"] == {"ARG001": 1, "DET001": 1}
+    assert {f["rule"] for f in parsed["findings"]} == {"ARG001", "DET001"}
+    [suppressed] = parsed["suppressed"]
+    assert suppressed["rule"] == "DET001" and suppressed["suppressed"] is True
+    assert suppressed["justification"] == "fixture exercises suppression"
+    assert set(parsed["rules"]) >= set(registered_rules())
+
+
+def test_findings_sorted_deterministically(tmp_path):
+    _write_tree(tmp_path)
+    result = analyze_paths([str(tmp_path)])
+    locs = [(f["path"], f["line"], f["col"]) for f in analysis_json(result)["findings"]]
+    assert locs == sorted(locs)
+
+
+# -------------------------------------------------------------------- CLI --
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert analysis_main([str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_and_render_locations(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nx = time.time()\n")
+    assert analysis_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2:4: DET001" in out
+
+
+def test_cli_strict_gates_on_suppression_hygiene(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "mod.py"
+    src.parent.mkdir(parents=True)
+    src.write_text("import time\nx = time.time()  # repro: ignore[DET001]\n")
+    # Non-strict: the DET001 is suppressed; the missing justification is
+    # reported but does not gate.
+    assert analysis_main([str(src)]) == 0
+    assert analysis_main([str(src), "--strict"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(a={}):\n    pass\n")
+    assert analysis_main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == ANALYSIS_SCHEMA and payload["counts"] == {"ARG001": 1}
+
+
+def test_cli_rule_selection(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nx = time.time()\ndef f(a=[]):\n    pass\n")
+    assert analysis_main([str(bad), "--rules", "ARG001", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"ARG001": 1}
+    assert analysis_main([str(bad), "--rules", "NOPE01"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert analysis_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in registered_rules():
+        assert rule in out
+
+
+# -------------------------------------------------------------- self-check --
+
+
+def test_repo_tree_is_clean_under_strict():
+    """The shipped tree must pass its own linter, and every suppression in
+    it must carry a justification."""
+    result = analyze_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    gating = result.gating(strict=True)
+    assert not gating, "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in gating)
+    for finding in result.suppressed:
+        assert finding.justification, f"unjustified suppression at {finding.location()}"
