@@ -7,6 +7,14 @@ This package *enforces* that discipline mechanically:
 
 * :mod:`repro.analysis.rules` — repo-specific AST checkers (rule ids
   ``DET001``..., see ``--list-rules``);
+* :mod:`repro.analysis.statemachine` — protocol state-machine extraction
+  checked against declarative RFC 5201/5206 transition tables
+  (``CONF001``-``CONF003``);
+* :mod:`repro.analysis.taint` — intra-procedural secret-flow analysis for
+  the HIP/TLS stacks (``SEC001``/``SEC002``);
+* :mod:`repro.analysis.wire` — the runtime wire sanitizer: a link-layer
+  tap asserting HIP TLV well-formedness and byte-exact parse/serialize
+  round-trips on every sent control packet;
 * :mod:`repro.analysis.runner` — file discovery, suppression handling and
   the ``python -m repro.analysis`` CLI;
 * :mod:`repro.analysis.report` — text and strict-JSON reporters (schema

@@ -21,6 +21,10 @@ class ModuleContext:
     tree: ast.Module
     findings: list[Finding] = field(default_factory=list)
     _aliases: dict[str, str] = field(default_factory=dict)
+    # Scratch space shared by the checkers that run on this module: rules
+    # which need the same expensive pass (state-machine extraction, taint
+    # propagation) compute it once and memoise it here, keyed by pass name.
+    cache: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._collect_aliases()

@@ -21,6 +21,8 @@ from repro.analysis.report import META_RULES, analysis_json, render_text
 
 # Ensure the rule registry is populated before any analysis runs.
 import repro.analysis.rules  # noqa: F401  (registration side effect)
+import repro.analysis.statemachine  # noqa: F401  (registration side effect)
+import repro.analysis.taint  # noqa: F401  (registration side effect)
 
 _HYGIENE_RULES = ("ANA001", "ANA002")
 
@@ -53,7 +55,9 @@ class AnalysisResult:
 
 
 def _apply_suppressions(
-    findings: list[Finding], suppressions: list[Suppression]
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    rules: set[str] | None = None,
 ) -> list[Finding]:
     """Match findings against suppression comments; emit hygiene findings.
 
@@ -94,6 +98,14 @@ def _apply_suppressions(
                 )
             )
         if not sup.used:
+            # Under a --rules subset a suppression for an unselected rule
+            # is trivially unused; only gate the ones whose rules ran.
+            if (
+                rules is not None
+                and "*" not in sup.rules
+                and not (sup.rules & rules)
+            ):
+                continue
             out.append(
                 Finding(
                     path=sup.path,
@@ -134,7 +146,9 @@ def analyze_source(
             continue
         if checker_cls.applies(ctx):
             checker_cls(ctx).run()
-    return _apply_suppressions(ctx.findings, parse_suppressions(source, path))
+    return _apply_suppressions(
+        ctx.findings, parse_suppressions(source, path), rules
+    )
 
 
 def _iter_python_files(paths: list[str]) -> list[pathlib.Path]:
@@ -198,8 +212,14 @@ def main(argv: list[str] | None = None) -> int:
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--json", action="store_true", help="shorthand for --format json"
+    )
+    parser.add_argument(
         "--rules", default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids or case-insensitive prefixes to run "
+            "(e.g. --rules conf,sec selects CONF* and SEC*; default: all)"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print registered rules and exit"
@@ -215,14 +235,23 @@ def main(argv: list[str] | None = None) -> int:
 
     selected = None
     if args.rules:
-        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
-        unknown = selected - set(registered_rules())
+        known = set(registered_rules())
+        selected = set()
+        unknown = []
+        for token in (t.strip() for t in args.rules.split(",")):
+            if not token:
+                continue
+            matches = {r for r in known if r.upper().startswith(token.upper())}
+            if matches:
+                selected |= matches
+            else:
+                unknown.append(token)
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
 
     result = analyze_paths(args.paths, rules=selected)
-    if args.format == "json":
+    if args.format == "json" or args.json:
         print(json.dumps(analysis_json(result), indent=2, sort_keys=True))
     else:
         for line in render_text(result):

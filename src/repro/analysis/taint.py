@@ -1,0 +1,420 @@
+"""Secret-flow (taint) analysis for the HIP/TLS protocol modules.
+
+The paper's confidentiality argument is only as good as the discipline that
+keeps key material off the wire and out of the observability layer.  This
+pass runs an intra-procedural dataflow over each function's AST and tracks
+two taint classes:
+
+* **SECRET** — raw key material: DH shared secrets (``.shared_secret()``),
+  KEYMAT (``hip_keymat``/``hkdf_expand``/``hkdf_extract``), RSA-decrypted
+  premasters (``.decrypt()``), non-Finished ``tls_prf`` output, and any
+  name/attribute spelled like key material (``master_secret``, ``keymat``,
+  ``premaster``, ...).
+* **MAC** — values *derived* from secrets through a one-way function
+  (``.digest()``, ``hmac_digest``, ``tls_prf`` with a ``finished`` label).
+  MACs are designed to cross the wire, so they may reach packet builders —
+  but comparing one with ``==`` still leaks a byte-position timing oracle.
+
+Declassifiers stop propagation: ``.encrypt()`` (ciphertext is public),
+``ct_equal`` and ``len`` (booleans/lengths are not key bytes).
+
+Rules:
+
+* **SEC001** — a SECRET value reaches an observable sink: the flight
+  recorder (``RECORDER.record``), metrics names (``METRICS.*``), exception
+  messages (``raise`` arguments), packet parameter builders
+  (``pkt.add(code, data)``, ``build_*``) or the plaintext control channel
+  (``_send_control``/``_send_message``).
+* **SEC002** — a SECRET or MAC operand in an ``==``/``!=`` comparison;
+  use :func:`repro.crypto.hmac_kdf.ct_equal` instead.
+
+The analysis is deliberately intra-procedural and name-driven: precise
+enough to catch the real leak classes above with zero findings on the
+clean tree, simple enough to audit by reading this file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import Checker, ModuleContext, register
+
+CLEAN = 0
+MAC = 1
+SECRET = 2
+
+_CLASS_NAMES = {MAC: "MAC-derived", SECRET: "secret"}
+
+#: Identifiers that *are* key material wherever they appear.  Matching by
+#: terminal name lets taint survive attribute round-trips the dataflow
+#: cannot see (``assoc.keymat`` written in one handler, read in another).
+SECRET_NAMES = frozenset(
+    {
+        "shared_secret",
+        "dh_secret",
+        "premaster",
+        "master_secret",
+        "keymat",
+        "new_keymat",
+        "session_key",
+        "private_key",
+        "enc_key",
+        "icv_key",
+    }
+)
+
+_SECRET_PRODUCER_CALLS = frozenset({"hip_keymat", "hkdf_expand", "hkdf_extract"})
+_MAC_PRODUCER_CALLS = frozenset({"hmac_digest"})
+_DECLASSIFY_CALLS = frozenset({"ct_equal", "len"})
+_SECRET_PRODUCER_ATTRS = frozenset({"shared_secret", "decrypt"})
+_MAC_PRODUCER_ATTRS = frozenset({"digest", "hexdigest"})
+_DECLASSIFY_ATTRS = frozenset({"encrypt"})
+_SINK_CALLS = frozenset({"_send_control", "_send_message"})
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """Bare callable name: ``tls_prf`` or the attr of ``self._send_control``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@dataclass
+class _TaintResult:
+    findings: list[tuple[str, ast.AST, str]] = field(default_factory=list)
+
+
+class _FunctionTaint:
+    """One forward, flow-sensitive pass over a function body."""
+
+    def __init__(self, result: _TaintResult) -> None:
+        self.result = result
+        self.env: dict[str, int] = {}
+        self.consts: dict[str, bytes] = {}
+        self._reported: set[tuple[str, int, int]] = set()
+
+    # -- taint of expressions ------------------------------------------------
+    def taint_of(self, node: ast.expr) -> int:
+        if isinstance(node, ast.Name):
+            if node.id in SECRET_NAMES:
+                return SECRET
+            return self.env.get(node.id, CLEAN)
+        if isinstance(node, ast.Attribute):
+            if node.attr in SECRET_NAMES:
+                return SECRET
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.BinOp):
+            return max(self.taint_of(node.left), self.taint_of(node.right))
+        if isinstance(node, ast.BoolOp):
+            return max(self.taint_of(v) for v in node.values)
+        if isinstance(node, ast.IfExp):
+            return max(self.taint_of(node.body), self.taint_of(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return max((self.taint_of(e) for e in node.elts), default=CLEAN)
+        if isinstance(node, ast.JoinedStr):
+            return max(
+                (
+                    self.taint_of(v.value)
+                    for v in node.values
+                    if isinstance(v, ast.FormattedValue)
+                ),
+                default=CLEAN,
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, ast.Compare):
+            return CLEAN  # booleans carry no key bytes
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand)
+        if isinstance(node, ast.NamedExpr):
+            return self.taint_of(node.value)
+        return CLEAN
+
+    def _arg_taint(self, node: ast.Call) -> int:
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        return max((self.taint_of(v) for v in values), default=CLEAN)
+
+    def _label_bytes(self, node: ast.expr) -> list[bytes] | None:
+        """Constant candidates for a ``tls_prf`` label, or None if opaque."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+            return [node.value]
+        if isinstance(node, ast.Name) and node.id in self.consts:
+            return [self.consts[node.id]]
+        if isinstance(node, ast.IfExp):
+            body = self._label_bytes(node.body)
+            orelse = self._label_bytes(node.orelse)
+            if body is not None and orelse is not None:
+                return body + orelse
+        return None
+
+    def _call_taint(self, node: ast.Call) -> int:
+        name = _call_name(node.func)
+        if name == "tls_prf":
+            # Finished verify_data is PRF output *meant* for the wire; any
+            # other label (master secret, key expansion) derives key bytes.
+            if len(node.args) >= 2:
+                labels = self._label_bytes(node.args[1])
+                if labels is not None and all(b"finished" in lb for lb in labels):
+                    return MAC
+            return SECRET
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _DECLASSIFY_ATTRS:
+                return CLEAN
+            if node.func.attr in _SECRET_PRODUCER_ATTRS:
+                return SECRET
+            if node.func.attr in _MAC_PRODUCER_ATTRS:
+                return MAC
+            return max(self.taint_of(node.func.value), self._arg_taint(node))
+        if name in _DECLASSIFY_CALLS:
+            return CLEAN
+        if name in _SECRET_PRODUCER_CALLS:
+            return SECRET
+        if name in _MAC_PRODUCER_CALLS:
+            return MAC
+        return self._arg_taint(node)
+
+    # -- reporting -----------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        key = (rule, getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        if key not in self._reported:
+            self._reported.add(key)
+            self.result.findings.append((rule, node, message))
+
+    def _check_sink_call(self, node: ast.Call) -> None:
+        func = node.func
+        name = _call_name(func)
+        values: list[tuple[ast.expr, str]] = []
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "record"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "RECORDER"
+        ):
+            values = [(v, "the flight recorder") for v in node.args] + [
+                (kw.value, "the flight recorder") for kw in node.keywords
+            ]
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "METRICS"
+        ):
+            values = [(v, "a metrics name") for v in node.args]
+        elif isinstance(func, ast.Attribute) and func.attr == "add" and len(node.args) >= 2:
+            values = [(node.args[1], "a packet parameter")]
+        elif name is not None and name.startswith("build_"):
+            values = [(v, "a packet parameter builder") for v in node.args]
+        elif name in _SINK_CALLS:
+            values = [(v, "the plaintext control channel") for v in node.args] + [
+                (kw.value, "the plaintext control channel") for kw in node.keywords
+            ]
+        for value, what in values:
+            if self.taint_of(value) == SECRET:
+                self._report(
+                    "SEC001",
+                    value,
+                    f"secret-derived value flows into {what}; secrets must "
+                    "never reach an observable sink — derive a MAC/PRF "
+                    "output or encrypt first",
+                )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for operand in [node.left, *node.comparators]:
+            taint = self.taint_of(operand)
+            if taint != CLEAN:
+                self._report(
+                    "SEC002",
+                    node,
+                    f"{_CLASS_NAMES[taint]} value compared with ==/!=, which "
+                    "short-circuits on the first differing byte; use "
+                    "repro.crypto.hmac_kdf.ct_equal",
+                )
+                return
+
+    def _check_raise(self, node: ast.Raise) -> None:
+        for target in (node.exc, node.cause):
+            if target is None:
+                continue
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.expr) and self.taint_of(sub) == SECRET:
+                    self._report(
+                        "SEC001",
+                        sub,
+                        "secret-derived value interpolated into an exception; "
+                        "tracebacks land in logs and CI output",
+                    )
+                    break
+
+    # -- statement walk ------------------------------------------------------
+    def _assign_name(self, target: ast.expr, taint: int) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+            if taint == CLEAN:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_name(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._assign_name(target.value, taint)
+
+    def _check_exprs(self, stmt: ast.stmt) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._check_sink_call(node)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(node)
+        if isinstance(stmt, ast.Raise):
+            self._check_raise(stmt)
+
+    def run(self, body: list[ast.stmt]) -> None:
+        self._sweep(body)
+
+    def _sweep(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are analyzed separately
+            if isinstance(stmt, ast.If):
+                self._check_test(stmt.test)
+                before = dict(self.env)
+                self._sweep(stmt.body)
+                after_body = self.env
+                self.env = dict(before)
+                self._sweep(stmt.orelse)
+                for var, taint in after_body.items():
+                    self.env[var] = max(self.env.get(var, CLEAN), taint)
+                continue
+            if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                if isinstance(stmt, ast.While):
+                    self._check_test(stmt.test)
+                else:
+                    self._assign_name(stmt.target, self.taint_of(stmt.iter))
+                # Sweep the body twice so taint assigned late in the body
+                # reaches sinks earlier in it on the second iteration.
+                self._sweep(stmt.body)
+                self._sweep(stmt.body)
+                self._sweep(stmt.orelse)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._sweep(stmt.body)
+                for handler in stmt.handlers:
+                    self._sweep(handler.body)
+                self._sweep(stmt.orelse)
+                self._sweep(stmt.finalbody)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._check_exprs(stmt)
+                self._sweep(stmt.body)
+                continue
+            self._check_exprs(stmt)
+            if isinstance(stmt, ast.Assign):
+                taint = self.taint_of(stmt.value)
+                for target in stmt.targets:
+                    self._assign_name(target, taint)
+                self._record_const(stmt.targets, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._assign_name(stmt.target, self.taint_of(stmt.value))
+                self._record_const([stmt.target], stmt.value)
+            elif isinstance(stmt, ast.AugAssign):
+                taint = max(self.taint_of(stmt.target), self.taint_of(stmt.value))
+                self._assign_name(stmt.target, taint)
+
+    def _check_test(self, test: ast.expr) -> None:
+        for node in ast.walk(test):
+            if isinstance(node, ast.Call):
+                self._check_sink_call(node)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(node)
+
+    def _record_const(self, targets: list[ast.expr], value: ast.expr) -> None:
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            return
+        labels = self._label_bytes(value)
+        if labels is not None and len(labels) >= 1:
+            # Track names bound to constant bytes (including IfExp of
+            # constants) so tls_prf label classification can resolve them.
+            # Multiple candidates: keep one only if classification agrees.
+            finished = [b"finished" in lb for lb in labels]
+            if all(finished):
+                self.consts[targets[0].id] = b"finished"
+            elif not any(finished):
+                self.consts[targets[0].id] = labels[0]
+
+
+def taint_findings(ctx: ModuleContext) -> list[tuple[str, ast.AST, str]]:
+    """Run (and memoise) the taint pass for this module."""
+    if "taint" not in ctx.cache:
+        result = _TaintResult()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _FunctionTaint(result).run(node.body)
+        # Module-level code too (metrics registrations and the like).
+        _FunctionTaint(result).run(ctx.tree.body)
+        ctx.cache["taint"] = result.findings
+    return ctx.cache["taint"]
+
+
+class _TaintChecker(Checker):
+    """Scope: the protocol stacks (``repro/hip``, ``repro/tls``), where key
+    material lives.  The crypto package itself is excluded — it *is* the
+    implementation of the primitives and has no observable sinks."""
+
+    @classmethod
+    def applies(cls, ctx: ModuleContext) -> bool:
+        parts = tuple(
+            part for part in ctx.path.replace("\\", "/").split("/") if part
+        )
+        return (
+            "repro" in parts
+            and ("hip" in parts or "tls" in parts)
+            and "tests" not in parts
+        )
+
+    def run(self) -> None:
+        for rule, node, message in taint_findings(self.ctx):
+            if rule == self.rule:
+                self.ctx.add(rule, node, message)
+
+
+@register
+class SecretSinkChecker(_TaintChecker):
+    """A secret that reaches the recorder, a metric, an exception message or
+    an unencrypted packet parameter is permanently disclosed — replay files
+    and CI artifacts outlive any key rotation."""
+
+    rule = "SEC001"
+    description = (
+        "key material (DH secret, KEYMAT, premaster, session key) must not "
+        "reach an observable sink (recorder, metrics, exceptions, plaintext "
+        "packet parameters)"
+    )
+
+
+@register
+class NonConstantTimeCompareChecker(_TaintChecker):
+    """``==`` on secret-derived bytes short-circuits at the first differing
+    byte; an attacker measuring response times can forge a MAC one byte at
+    a time.  All such comparisons go through ``ct_equal``."""
+
+    rule = "SEC002"
+    description = (
+        "secret- or MAC-derived bytes compared with ==/!= instead of the "
+        "constant-time helper ct_equal"
+    )

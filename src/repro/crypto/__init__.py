@@ -15,7 +15,7 @@ from repro.crypto.aes import AES
 from repro.crypto.costmodel import CostModel, CryptoMeter
 from repro.crypto.dh import DHKeyPair, DHParams, MODP_GROUPS
 from repro.crypto.ecc import EcdsaKeyPair, P256
-from repro.crypto.hmac_kdf import hkdf_expand, hkdf_extract, hmac_digest
+from repro.crypto.hmac_kdf import ct_equal, hkdf_expand, hkdf_extract, hmac_digest
 from repro.crypto.modes import (
     cbc_decrypt,
     cbc_encrypt,
@@ -42,6 +42,7 @@ __all__ = [
     "RsaPublicKey",
     "cbc_decrypt",
     "cbc_encrypt",
+    "ct_equal",
     "ctr_keystream_xor",
     "hkdf_expand",
     "hkdf_extract",

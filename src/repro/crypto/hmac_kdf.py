@@ -167,3 +167,21 @@ def tls_prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
         a = hk.digest(a)
         out += hk.digest(a + full_seed)
     return out[:length]
+
+
+def ct_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time equality for MACs, ICVs and Finished verify-data.
+
+    A plain ``==`` short-circuits at the first differing byte, leaking the
+    match length through timing — the classic MAC-forgery oracle.  Every
+    comparison whose operands derive from key material must come through
+    here; the ``SEC002`` analysis rule enforces that mechanically.  Length
+    is not secret for fixed-size MACs, so a length mismatch may return
+    early.
+    """
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from enum import StrEnum
 from typing import TYPE_CHECKING, Generator
 
 from repro.crypto.costmodel import CryptoMeter
 from repro.crypto.dh import DHKeyPair, MODP_GROUPS
-from repro.crypto.hmac_kdf import HmacKey, hip_keymat
+from repro.crypto.hmac_kdf import HmacKey, ct_equal, hip_keymat
 from repro.crypto.puzzle import Puzzle, solve_puzzle, verify_solution
 from repro.hip import packets as hp
 from repro.hip.esp import (
@@ -84,6 +85,33 @@ class HipError(Exception):
     """Association failure (timeout, verification failure, policy deny)."""
 
 
+class HipState(StrEnum):
+    """Canonical HIP association states (RFC 5201 §4.4.1, simplified).
+
+    The single source of truth for the association FSM: every comparison and
+    every :meth:`HipDaemon._transition` call uses these members, and the
+    ``CONF003`` analysis rule rejects bare string literals in state
+    positions.  Deviations from the RFC table, both deliberate:
+
+    * ``R2-SENT`` is collapsed into ``ESTABLISHED`` — the responder installs
+      its SAs and completes as soon as a valid I2 is accepted;
+    * ``FAILED`` is an addition (the RFC retries forever; we surface
+      exhausted retransmissions and policy denials to the caller).
+
+    Values stay the historical wire-visible strings so recorded traces and
+    string comparisons in older callers keep working (StrEnum members *are*
+    their values).
+    """
+
+    UNASSOCIATED = "UNASSOCIATED"
+    I1_SENT = "I1-SENT"
+    I2_SENT = "I2-SENT"
+    ESTABLISHED = "ESTABLISHED"
+    CLOSING = "CLOSING"
+    CLOSED = "CLOSED"
+    FAILED = "FAILED"
+
+
 @dataclass
 class HipConfig:
     """Daemon tunables."""
@@ -103,7 +131,7 @@ class Association:
 
     peer_hit: IPAddress
     role: str  # "initiator" | "responder"
-    state: str = "UNASSOCIATED"
+    state: HipState = HipState.UNASSOCIATED
     peer_locator: IPAddress | None = None
     peer_host_id: bytes = b""
     dh: DHKeyPair | None = None
@@ -121,6 +149,7 @@ class Association:
     update_id: int = 0
     pending_update: dict | None = None
     retries: int = 0
+    close_nonce: bytes = b""
     created_at: float = 0.0
     established_at: float = 0.0
     rekey_count: int = 0
@@ -128,7 +157,7 @@ class Association:
 
     @property
     def is_established(self) -> bool:
-        return self.state == "ESTABLISHED"
+        return self.state == HipState.ESTABLISHED
 
     def set_hmac_keys(self, out_key: bytes, in_key: bytes) -> None:
         """Install control-channel HMAC keys plus their cached midstates."""
@@ -214,9 +243,9 @@ class HipDaemon:
         assoc = self._ensure_assoc(peer_hit)
         if assoc.is_established:
             return assoc
-        if assoc.state in ("FAILED", "CLOSED"):
+        if assoc.state in (HipState.FAILED, HipState.CLOSED):
             assoc = self._restart_assoc(peer_hit)
-        if assoc.state == "UNASSOCIATED":
+        if assoc.state == HipState.UNASSOCIATED:
             self._start_bex(assoc)
         from repro.sim.events import AnyOf
 
@@ -233,9 +262,10 @@ class HipDaemon:
             return
         pkt = self._new_packet(hp.CLOSE, peer_hit)
         nonce = self.rng.getrandbits(64).to_bytes(8, "big")
+        assoc.close_nonce = nonce
         pkt.add(hp.ECHO_REQUEST_SIGNED, nonce)
         self._finalize_and_send(pkt, assoc, sign=True)
-        self._transition(assoc, "CLOSING")
+        self._transition(assoc, HipState.CLOSING)
 
     # --------------------------------------------------------------- data path --
     def _output_shim(self, node: "Node", packet: Packet) -> Packet | None:
@@ -260,11 +290,11 @@ class HipDaemon:
             peer_hit, packet, kind = yield self._tx.get()
             assoc = self._ensure_assoc(peer_hit)
             if not assoc.is_established:
-                if assoc.state in ("FAILED", "CLOSED"):
+                if assoc.state in (HipState.FAILED, HipState.CLOSED):
                     assoc = self._restart_assoc(peer_hit)
                 if len(assoc.queued) < self.config.queue_limit:
                     assoc.queued.append((packet, kind))
-                if assoc.state == "UNASSOCIATED":
+                if assoc.state == HipState.UNASSOCIATED:
                     self._start_bex(assoc)
                 continue
             yield from self._protect_and_send(assoc, packet, kind)
@@ -370,8 +400,25 @@ class HipDaemon:
         return "raw"
 
     # ------------------------------------------------------------ associations --
-    def _transition(self, assoc: Association, state: str) -> None:
-        """Move the association FSM, tracing the edge when the recorder is on."""
+    def _transition(
+        self,
+        assoc: Association,
+        state: HipState,
+        expect_from: tuple[HipState, ...] | None = None,
+    ) -> None:
+        """Move the association FSM, tracing the edge when the recorder is on.
+
+        ``expect_from`` declares the legal source states for call sites whose
+        guard lives in a *caller* (shared helpers like :meth:`_established`).
+        It is checked at runtime and read statically by the ``CONF001`` /
+        ``CONF002`` conformance rules, so the declared FSM and the executed
+        one cannot drift apart silently.
+        """
+        if expect_from is not None and assoc.state not in expect_from:
+            raise HipError(
+                f"illegal HIP transition {assoc.state} -> {state} "
+                f"(expected from {', '.join(expect_from)})"
+            )
         if RECORDER.enabled:
             RECORDER.record(
                 self.sim.now, "hip", "bex_state",
@@ -382,7 +429,10 @@ class HipDaemon:
 
     def _established(self, assoc: Association) -> None:
         """Common tail of both BEX completions (R2 received / I2 accepted)."""
-        self._transition(assoc, "ESTABLISHED")
+        self._transition(
+            assoc, HipState.ESTABLISHED,
+            expect_from=(HipState.UNASSOCIATED, HipState.I2_SENT),
+        )
         assoc.established_at = self.sim.now
         self.bex_completed += 1
         _BEX_DONE.inc()
@@ -420,7 +470,7 @@ class HipDaemon:
             self._fail_assoc(assoc, HipError("outbound HIP policy denies peer"))
             return
         assoc.peer_locator = locator
-        self._transition(assoc, "I1-SENT")
+        self._transition(assoc, HipState.I1_SENT, expect_from=(HipState.UNASSOCIATED,))
         assoc.retries = 0
         self._send_i1(assoc)
         self.sim.process(self._i1_retransmitter(assoc), name="hip-i1-rtx")
@@ -430,9 +480,9 @@ class HipDaemon:
         self._send_control(i1, assoc.peer_locator)
 
     def _i1_retransmitter(self, assoc: Association) -> Generator:
-        while assoc.state == "I1-SENT":
+        while assoc.state == HipState.I1_SENT:
             yield self.sim.timeout(RETRY_BASE_S * (2**assoc.retries))
-            if assoc.state != "I1-SENT":
+            if assoc.state != HipState.I1_SENT:
                 return
             assoc.retries += 1
             if assoc.retries > I1_RETRIES:
@@ -442,9 +492,9 @@ class HipDaemon:
 
     def _i2_retransmitter(self, assoc: Association, i2: hp.HipPacket) -> Generator:
         retries = 0
-        while assoc.state == "I2-SENT":
+        while assoc.state == HipState.I2_SENT:
             yield self.sim.timeout(RETRY_BASE_S * (2**retries))
-            if assoc.state != "I2-SENT":
+            if assoc.state != HipState.I2_SENT:
                 return
             retries += 1
             if retries > I2_RETRIES:
@@ -453,7 +503,10 @@ class HipDaemon:
             self._send_control(i2, assoc.peer_locator)
 
     def _fail_assoc(self, assoc: Association, error: Exception) -> None:
-        self._transition(assoc, "FAILED")
+        self._transition(
+            assoc, HipState.FAILED,
+            expect_from=(HipState.UNASSOCIATED, HipState.I1_SENT, HipState.I2_SENT),
+        )
         assoc.queued.clear()
         evt = assoc.established_evt
         if evt is not None and not evt.triggered:  # type: ignore[attr-defined]
@@ -598,7 +651,7 @@ class HipDaemon:
         # 4. HMAC then signature (cheap check first, per RFC processing order).
         yield from self._charge("sym.hmac.i2", cm.hmac_cost(200))
         expect_mac = HmacKey(hmac_in, "sha1").digest(i2.bytes_for_param(hp.HMAC_PARAM))
-        if expect_mac != hmac_data:
+        if not ct_equal(expect_mac, hmac_data):
             return
         yield from self._charge(
             "asym.verify.i2", asym_cost_for_host_id(peer_hi, "verify", cm)
@@ -641,7 +694,7 @@ class HipDaemon:
     # -- initiator side --------------------------------------------------------------
     def _handle_r1(self, r1: hp.HipPacket, ip: IPHeader) -> Generator:
         assoc = self.assocs.get(r1.sender_hit)
-        if assoc is None or assoc.state != "I1-SENT":
+        if assoc is None or assoc.state != HipState.I1_SENT:
             return
         cm = self.node.cost_model
         puzzle_data = r1.get(hp.PUZZLE)
@@ -703,14 +756,14 @@ class HipDaemon:
             asym_cost_for_host_id(self.identity.public_key_bytes, "sign", cm),
         )
         i2.add(hp.HIP_SIGNATURE, self.identity.sign(i2.bytes_for_param(hp.HIP_SIGNATURE), self.rng))
-        self._transition(assoc, "I2-SENT")
+        self._transition(assoc, HipState.I2_SENT)
         assoc.peer_locator = ip.src
         self._send_control(i2, ip.src)
         self.sim.process(self._i2_retransmitter(assoc, i2), name="hip-i2-rtx")
 
     def _handle_r2(self, r2: hp.HipPacket, ip: IPHeader) -> Generator:
         assoc = self.assocs.get(r2.sender_hit)
-        if assoc is None or assoc.state != "I2-SENT":
+        if assoc is None or assoc.state != HipState.I2_SENT:
             return
         cm = self.node.cost_model
         esp_data = r2.get(hp.ESP_INFO)
@@ -720,7 +773,7 @@ class HipDaemon:
             return
         yield from self._charge("sym.hmac.r2", cm.hmac_cost(120))
         expect = assoc.hmac_in.digest(r2.bytes_for_param(hp.HMAC_PARAM))
-        if expect != hmac_data:
+        if not ct_equal(expect, hmac_data):
             return
         yield from self._charge(
             "asym.verify.r2", asym_cost_for_host_id(assoc.peer_host_id, "verify", cm)
@@ -834,7 +887,7 @@ class HipDaemon:
         if hmac_data is None or sig_data is None:
             return False
         expect = assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM))
-        if expect != hmac_data:
+        if not ct_equal(expect, hmac_data):
             return False
         return verify_with_host_id(
             assoc.peer_host_id or b"", pkt.bytes_for_param(hp.HIP_SIGNATURE), sig_data
@@ -850,7 +903,7 @@ class HipDaemon:
         if hmac_data is None:
             return
         expect = assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM))
-        if expect != hmac_data:
+        if not ct_equal(expect, hmac_data):
             return
 
         locator_data = pkt.get(hp.LOCATOR)
@@ -952,14 +1005,14 @@ class HipDaemon:
     # ------------------------------------------------------------------- teardown --
     def _handle_close(self, pkt: hp.HipPacket, ip: IPHeader) -> Generator:
         assoc = self.assocs.get(pkt.sender_hit)
-        if assoc is None or assoc.state not in ("ESTABLISHED", "CLOSING"):
+        if assoc is None or assoc.state not in (HipState.ESTABLISHED, HipState.CLOSING):
             return
         yield from self._charge("sym.hmac.close", self.node.cost_model.hmac_cost(100))
         hmac_data = pkt.get(hp.HMAC_PARAM)
         if hmac_data is None:
             return
         expect = assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM))
-        if expect != hmac_data:
+        if not ct_equal(expect, hmac_data):
             return
         echo = pkt.get(hp.ECHO_REQUEST_SIGNED) or b""
         ack = self._new_packet(hp.CLOSE_ACK, assoc.peer_hit)
@@ -969,13 +1022,27 @@ class HipDaemon:
 
     def _handle_close_ack(self, pkt: hp.HipPacket, ip: IPHeader) -> Generator:
         assoc = self.assocs.get(pkt.sender_hit)
-        if assoc is None or assoc.state != "CLOSING":
+        if assoc is None or assoc.state != HipState.CLOSING:
             return
         yield from self._charge("sym.hmac.close", self.node.cost_model.hmac_cost(100))
+        # RFC 5201 §6.15: the CLOSE_ACK HMAC must verify, and the echoed
+        # nonce must match the one we sent in CLOSE — otherwise any on-path
+        # host that saw the CLOSE could forge the teardown completion.
+        hmac_data = pkt.get(hp.HMAC_PARAM)
+        if hmac_data is None or not ct_equal(
+            assoc.hmac_in.digest(pkt.bytes_for_param(hp.HMAC_PARAM)), hmac_data
+        ):
+            return
+        echo = pkt.get(hp.ECHO_RESPONSE_SIGNED)
+        if echo is None or not ct_equal(echo, assoc.close_nonce):
+            return
         self._drop_assoc(assoc)
 
     def _drop_assoc(self, assoc: Association) -> None:
-        self._transition(assoc, "CLOSED")
+        self._transition(
+            assoc, HipState.CLOSED,
+            expect_from=(HipState.ESTABLISHED, HipState.CLOSING),
+        )
         if assoc.sa_in is not None:
             self._sa_in_by_spi.pop(assoc.sa_in.spi, None)
         assoc.sa_in = assoc.sa_out = None

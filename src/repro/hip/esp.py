@@ -24,7 +24,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.crypto.aes import AES
-from repro.crypto.hmac_kdf import HmacKey
+from repro.crypto.hmac_kdf import HmacKey, ct_equal
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
 from repro.metrics import METRICS
 from repro.net.addresses import IPAddress
@@ -199,7 +199,7 @@ class SecurityAssociation:
             expect_icv = self._icv_hmac.digest(
                 struct.pack(">II", header.spi, header.seq) + payload.iv + payload.ciphertext
             )[:ICV_LEN]
-            if expect_icv != payload.icv:
+            if not ct_equal(expect_icv, payload.icv):
                 self.auth_failures += 1
                 _AUTH_FAILURES.inc()
                 raise EspError("ICV verification failed")

@@ -65,6 +65,13 @@ class Param:
     data: bytes
 
     def serialize(self) -> bytes:
+        if not 0 <= self.code <= 0xFFFF:
+            raise HipParseError(f"parameter code {self.code} out of range")
+        if len(self.data) > 0xFFFF:
+            raise HipParseError(
+                f"parameter {self.code} value is {len(self.data)} bytes; "
+                "the TLV length field holds at most 65535"
+            )
         tlv = struct.pack(">HH", self.code, len(self.data)) + self.data
         pad = (-len(tlv)) % 8
         return tlv + b"\x00" * pad
@@ -155,7 +162,14 @@ class HipPacket:
             if len(value) != plen:
                 raise HipParseError("truncated parameter value")
             packet.params.append(Param(code, bytes(value)))
-            off += 4 + plen + ((-(4 + plen)) % 8)
+            end = off + 4 + plen
+            off = end + ((-(4 + plen)) % 8)
+            if off > len(data):
+                raise HipParseError("truncated parameter padding")
+            if any(data[end:off]):
+                raise HipParseError("non-zero parameter padding")
+        if off != len(data):
+            raise HipParseError("parameter block not 8-byte aligned")
         return packet
 
 
@@ -166,8 +180,8 @@ def build_puzzle(k: int, lifetime_exp: int, opaque: int, i: bytes) -> bytes:
 
 
 def parse_puzzle(data: bytes) -> tuple[int, int, int, bytes]:
-    if len(data) < 4 + 8:
-        raise HipParseError("short PUZZLE parameter")
+    if len(data) != 4 + 8:
+        raise HipParseError(f"PUZZLE parameter must be 12 bytes, got {len(data)}")
     k, lifetime_exp, opaque = struct.unpack_from(">BBH", data, 0)
     return k, lifetime_exp, opaque, data[4:12]
 
@@ -177,8 +191,8 @@ def build_solution(k: int, opaque: int, i: bytes, j: bytes) -> bytes:
 
 
 def parse_solution(data: bytes) -> tuple[int, int, bytes, bytes]:
-    if len(data) < 4 + 16:
-        raise HipParseError("short SOLUTION parameter")
+    if len(data) != 4 + 16:
+        raise HipParseError(f"SOLUTION parameter must be 20 bytes, got {len(data)}")
     k, _res, opaque = struct.unpack_from(">BBH", data, 0)
     return k, opaque, data[4:12], data[12:20]
 
@@ -191,8 +205,11 @@ def parse_dh(data: bytes) -> tuple[int, bytes]:
     if len(data) < 3:
         raise HipParseError("short DIFFIE_HELLMAN parameter")
     group_id, length = struct.unpack_from(">BH", data, 0)
-    if len(data) < 3 + length:
-        raise HipParseError("truncated DH public value")
+    if len(data) != 3 + length:
+        raise HipParseError(
+            f"DIFFIE_HELLMAN declares {length} public-value bytes, "
+            f"parameter holds {len(data) - 3}"
+        )
     return group_id, data[3 : 3 + length]
 
 
@@ -201,9 +218,9 @@ def build_esp_info(old_spi: int, new_spi: int, keymat_index: int = 0) -> bytes:
 
 
 def parse_esp_info(data: bytes) -> tuple[int, int, int]:
-    if len(data) < 12:
-        raise HipParseError("short ESP_INFO parameter")
-    _res, keymat_index, old_spi, new_spi = struct.unpack(">HHII", data[:12])
+    if len(data) != 12:
+        raise HipParseError(f"ESP_INFO parameter must be 12 bytes, got {len(data)}")
+    _res, keymat_index, old_spi, new_spi = struct.unpack(">HHII", data)
     return keymat_index, old_spi, new_spi
 
 
@@ -219,8 +236,11 @@ def parse_host_id(data: bytes) -> tuple[bytes, bytes]:
     if len(data) < 4:
         raise HipParseError("short HOST_ID parameter")
     hi_len, di_len = struct.unpack_from(">HH", data, 0)
-    if len(data) < 4 + hi_len + di_len:
-        raise HipParseError("truncated HOST_ID parameter")
+    if len(data) != 4 + hi_len + di_len:
+        raise HipParseError(
+            f"HOST_ID declares {hi_len}+{di_len} bytes, parameter holds "
+            f"{len(data) - 4}"
+        )
     return data[4 : 4 + hi_len], data[4 + hi_len : 4 + hi_len + di_len]
 
 
@@ -247,6 +267,11 @@ def parse_locator(data: bytes) -> list[tuple[IPAddress, float]]:
         value = int.from_bytes(data[off : off + 16], "big")
         off += 16
         out.append((IPAddress(family, value), lifetime))
+    if off != len(data):
+        raise HipParseError(
+            f"LOCATOR declares {count} entries, parameter has "
+            f"{len(data) - off} trailing bytes"
+        )
     return out
 
 
@@ -255,9 +280,9 @@ def build_seq(update_id: int) -> bytes:
 
 
 def parse_seq(data: bytes) -> int:
-    if len(data) < 4:
-        raise HipParseError("short SEQ parameter")
-    return struct.unpack(">I", data[:4])[0]
+    if len(data) != 4:
+        raise HipParseError(f"SEQ parameter must be 4 bytes, got {len(data)}")
+    return struct.unpack(">I", data)[0]
 
 
 def build_ack(update_ids: list[int]) -> bytes:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import struct
 from typing import TYPE_CHECKING, Generator
 
-from repro.crypto.hmac_kdf import hmac_digest
+from repro.crypto.hmac_kdf import ct_equal, hmac_digest
 from repro.hip import packets as hp
 from repro.hip.daemon import HipDaemon
 from repro.net.addresses import IPAddress
@@ -73,7 +73,7 @@ class RendezvousServer:
             expect = hmac_digest(
                 assoc.hmac_key_in, pkt.bytes_for_param(hp.HMAC_PARAM), "sha1"
             )
-            if expect != mac:
+            if not ct_equal(expect, mac):
                 return
             if REGTYPE_RENDEZVOUS in list(reg):
                 self.registrations[pkt.sender_hit] = ip.src

@@ -24,6 +24,12 @@ _TX_BYTES = METRICS.counter("link.tx_bytes")
 _LOST = METRICS.counter("link.lost_packets")
 _QUEUE_DROPS = METRICS.counter("link.queue_drops")
 
+#: Opt-in wire sanitizer taps.  Each callable observes every packet as it
+#: enters a link queue (before any drop decision) and raises on a protocol
+#: violation.  Empty in production runs — the runtime wire sanitizer in
+#: :mod:`repro.analysis.wire` registers itself here from a pytest fixture.
+WIRE_TAPS: list[Callable[["Packet"], None]] = []
+
 
 class LinkEndpoint:
     """One direction of a link: egress queue + serializer process."""
@@ -59,6 +65,8 @@ class LinkEndpoint:
 
     def send(self, packet: "Packet") -> bool:
         """Enqueue for transmission; returns False if the queue dropped it."""
+        for tap in WIRE_TAPS:
+            tap(packet)
         ok = self.queue.try_put(packet)
         if not ok:
             _QUEUE_DROPS.inc()

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.crypto.aes import AES
 from repro.crypto.costmodel import CryptoMeter
-from repro.crypto.hmac_kdf import HmacKey, tls_prf
+from repro.crypto.hmac_kdf import HmacKey, ct_equal, tls_prf
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
 from repro.crypto.rsa import RsaError, RsaKeyPair, RsaPublicKey
 from repro.crypto.sha import sha256
@@ -200,7 +200,7 @@ class TlsConnection:
             raise TlsError("record too short for MAC")
         plain, mac = plain_mac[:-MAC_LEN], plain_mac[-MAC_LEN:]
         expect = self._hmac_in.digest(struct.pack(">Q", self._seq_in) + plain)
-        if expect != mac:
+        if not ct_equal(expect, mac):
             raise TlsError("record MAC verification failed")
         return plain
 
@@ -384,5 +384,5 @@ def _exchange_finished(
     mtype, got = yield from _recv_message(conn)
     if mtype != FINISHED:
         raise TlsError(f"expected Finished, got {mtype}")
-    if bytes(got) != peer_verify:
+    if not ct_equal(bytes(got), peer_verify):
         raise TlsError("Finished verify_data mismatch")

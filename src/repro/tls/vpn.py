@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from enum import StrEnum
 from typing import TYPE_CHECKING, Generator
 
 from repro.crypto.costmodel import CryptoMeter
-from repro.crypto.hmac_kdf import tls_prf
+from repro.crypto.hmac_kdf import ct_equal, tls_prf
 from repro.crypto.rsa import RsaError, RsaKeyPair
 from repro.net.addresses import IPAddress, Prefix, prefix
 from repro.net.packet import Header, IPHeader, Packet
@@ -37,6 +38,21 @@ if TYPE_CHECKING:  # pragma: no cover
 VPN_SUBNET = prefix("10.8.0.0/24")
 HANDSHAKE_RETRIES = 4
 RETRY_BASE_S = 0.5
+
+
+class TunnelState(StrEnum):
+    """Canonical SSL-VPN tunnel states.
+
+    Single source of truth for the tunnel state machine; the CONF003
+    analysis rule rejects bare string literals at comparison sites, and
+    CONF001/CONF002 check the extracted transition graph against the
+    declarative spec table in ``repro.analysis.statemachine``.
+    """
+
+    NEW = "NEW"
+    HELLO_SENT = "HELLO-SENT"
+    ESTABLISHED = "ESTABLISHED"
+    FAILED = "FAILED"
 
 
 @dataclass(frozen=True)
@@ -56,16 +72,17 @@ class VpnRecordHeader(Header):
 class Tunnel:
     peer_vpn: IPAddress
     locator: IPAddress
-    state: str = "NEW"  # NEW -> HELLO-SENT -> ESTABLISHED / FAILED
+    state: TunnelState = TunnelState.NEW
     role: str = "client"
     master_secret: bytes = b""
+    verify_data: bytes = b""
     seq_out: int = 0
     queued: list[Packet] = field(default_factory=list)
     established_evt: object = None
 
     @property
     def is_established(self) -> bool:
-        return self.state == "ESTABLISHED"
+        return self.state == TunnelState.ESTABLISHED
 
 
 class VpnError(Exception):
@@ -121,9 +138,9 @@ class SslVpnDaemon:
         tunnel = self._ensure_tunnel(peer_vpn)
         if tunnel.is_established:
             return tunnel
-        if tunnel.state == "FAILED":
+        if tunnel.state == TunnelState.FAILED:
             tunnel = self._restart_tunnel(peer_vpn)
-        if tunnel.state == "NEW":
+        if tunnel.state == TunnelState.NEW:
             self._start_handshake(tunnel)
         from repro.sim.events import AnyOf
 
@@ -149,12 +166,12 @@ class SslVpnDaemon:
             ip = packet.outer
             assert isinstance(ip, IPHeader)
             tunnel = self._ensure_tunnel(ip.dst)
-            if tunnel.state == "FAILED":
+            if tunnel.state == TunnelState.FAILED:
                 tunnel = self._restart_tunnel(ip.dst)
             if not tunnel.is_established:
                 if len(tunnel.queued) < self.queue_limit:
                     tunnel.queued.append(packet)
-                if tunnel.state == "NEW":
+                if tunnel.state == TunnelState.NEW:
                     self._start_handshake(tunnel)
                 continue
             yield from self._protect_and_send(tunnel, packet)
@@ -231,8 +248,35 @@ class SslVpnDaemon:
         self.tunnels.pop(peer_vpn, None)
         return self._ensure_tunnel(peer_vpn)
 
+    def _transition(
+        self,
+        tunnel: Tunnel,
+        state: TunnelState,
+        expect_from: tuple[TunnelState, ...] | None = None,
+    ) -> None:
+        """Move ``tunnel`` to ``state``.
+
+        ``expect_from`` declares the legal source states for call sites whose
+        guard lives in a caller; it is checked at runtime and read statically
+        by the CONF001/CONF002 conformance rules.
+        """
+        if expect_from is not None and tunnel.state not in expect_from:
+            raise VpnError(
+                f"illegal tunnel transition {tunnel.state} -> {state} "
+                f"(expected from {', '.join(expect_from)})"
+            )
+        tunnel.state = state
+
     def _fail(self, tunnel: Tunnel, error: Exception) -> None:
-        tunnel.state = "FAILED"
+        self._transition(
+            tunnel,
+            TunnelState.FAILED,
+            expect_from=(
+                TunnelState.NEW,
+                TunnelState.HELLO_SENT,
+                TunnelState.ESTABLISHED,
+            ),
+        )
         tunnel.queued.clear()
         evt = tunnel.established_evt
         if evt is not None and not evt.triggered:  # type: ignore[attr-defined]
@@ -253,7 +297,7 @@ class SslVpnDaemon:
             self._fail(tunnel, VpnError(f"unknown VPN peer {tunnel.peer_vpn}"))
             return
         tunnel.locator = info[0]
-        tunnel.state = "HELLO-SENT"
+        self._transition(tunnel, TunnelState.HELLO_SENT, expect_from=(TunnelState.NEW,))
         tunnel.role = "client"
         self.sim.process(self._client_handshake(tunnel), name=f"vpn-hs-{self.node.name}")
 
@@ -271,10 +315,16 @@ class SslVpnDaemon:
         yield from self._charge("vpn.asym.verify_cert", cm.rsa_verify(peer_key.bits))
         self._send_control(tunnel, "key", client_random + encrypted)
         tunnel.master_secret = tls_prf(premaster, b"vpn master", client_random, 48)
+        # RFC 5246-style verify_data: a PRF output over the master secret, so
+        # the Finished message proves key possession without revealing any
+        # master-secret bytes on the wire.
+        tunnel.verify_data = tls_prf(
+            tunnel.master_secret, b"vpn finished", client_random, 12
+        )
         # Wait for the server's finished (retry the key message on timeout).
         for attempt in range(HANDSHAKE_RETRIES):
             yield self.sim.timeout(RETRY_BASE_S * (2**attempt))
-            if tunnel.is_established or tunnel.state == "FAILED":
+            if tunnel.is_established or tunnel.state == TunnelState.FAILED:
                 return
             self._send_control(tunnel, "key", client_random + encrypted)
         if not tunnel.is_established:
@@ -300,21 +350,34 @@ class SslVpnDaemon:
                 tunnel.locator = self.peers[peer_vpn][0]
             tunnel.role = "server"
             tunnel.master_secret = tls_prf(premaster, b"vpn master", client_random, 48)
-            tunnel.state = "ESTABLISHED"
+            tunnel.verify_data = tls_prf(
+                tunnel.master_secret, b"vpn finished", client_random, 12
+            )
+            # A retransmitted key message re-derives the same secrets, so
+            # ESTABLISHED -> ESTABLISHED is a legal (idempotent) self-loop.
+            self._transition(
+                tunnel,
+                TunnelState.ESTABLISHED,
+                expect_from=(
+                    TunnelState.NEW,
+                    TunnelState.HELLO_SENT,
+                    TunnelState.ESTABLISHED,
+                ),
+            )
             if not tunnel.established_evt.triggered:  # type: ignore[attr-defined]
                 tunnel.established_evt.succeed(tunnel)  # type: ignore[attr-defined]
-            self._send_control(tunnel, "finished", tunnel.master_secret[:12])
+            self._send_control(tunnel, "finished", tunnel.verify_data)
             return
         if kind == "finished":
             tunnel = self.tunnels.get(peer_vpn)
-            if tunnel is None or tunnel.state != "HELLO-SENT":
+            if tunnel is None or tunnel.state != TunnelState.HELLO_SENT:
                 return
             body = packet.payload
-            if not isinstance(body, (bytes, bytearray)) or (
-                bytes(body) != tunnel.master_secret[:12]
+            if not isinstance(body, (bytes, bytearray)) or not ct_equal(
+                bytes(body), tunnel.verify_data
             ):
                 return  # verify_data mismatch: ignore (attacker or corruption)
-            tunnel.state = "ESTABLISHED"
+            self._transition(tunnel, TunnelState.ESTABLISHED)
             if not tunnel.established_evt.triggered:  # type: ignore[attr-defined]
                 tunnel.established_evt.succeed(tunnel)  # type: ignore[attr-defined]
             queued, tunnel.queued = tunnel.queued, []

@@ -15,6 +15,20 @@ from repro.net.topology import lan_pair
 from repro.sim import Simulator
 
 
+@pytest.fixture(autouse=True)
+def _wire_sanitizer_for_smoke(request):
+    """Smoke-marked tests run with the runtime wire sanitizer installed:
+    every HIP control packet crossing a link is checked for TLV
+    well-formedness and a byte-exact parse/serialize round-trip."""
+    if request.node.get_closest_marker("smoke") is None:
+        yield
+        return
+    from repro.analysis.wire import wire_sanitizer
+
+    with wire_sanitizer():
+        yield
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(0xDECAF)

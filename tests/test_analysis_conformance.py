@@ -1,0 +1,311 @@
+"""Conformance-rule tests (CONF001-CONF003).
+
+Three layers: mutation-style fixtures proving each rule fires on seeded
+broken snippets (and stays silent on clean/suppressed ones), unit tests for
+the guard-inference machinery, and the acceptance check that the state
+graph extracted from the *real* ``hip/daemon.py`` / ``tls/vpn.py`` matches
+the declarative RFC tables edge-for-edge.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import textwrap
+
+import pytest
+
+import repro
+from repro.analysis import analyze_source
+from repro.analysis.base import ModuleContext
+from repro.analysis.statemachine import HIP_SPEC, SPECS, VPN_SPEC, extract, spec_for
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+HIP_PATH = "src/repro/hip/daemon.py"
+VPN_PATH = "src/repro/tls/vpn.py"
+
+
+def findings(source: str, rule: str, path: str = HIP_PATH) -> list:
+    return [
+        f
+        for f in analyze_source(textwrap.dedent(source), path, rules={rule})
+        if not f.suppressed and f.rule == rule
+    ]
+
+
+def _extract(path: str) -> object:
+    source = (REPO_ROOT / path).read_text()
+    ctx = ModuleContext(path=path, source=source, tree=ast.parse(source))
+    return extract(ctx)
+
+
+# A fixture covering every HIP spec edge: clean under CONF001 and CONF002.
+ALL_HIP_EDGES = """
+    class D:
+        def drive(self, assoc):
+            self._transition(assoc, HipState.I1_SENT,
+                             expect_from=(HipState.UNASSOCIATED,))
+            self._transition(assoc, HipState.I2_SENT,
+                             expect_from=(HipState.I1_SENT,))
+            self._transition(assoc, HipState.ESTABLISHED,
+                             expect_from=(HipState.UNASSOCIATED, HipState.I2_SENT))
+            self._transition(assoc, HipState.FAILED,
+                             expect_from=(HipState.UNASSOCIATED, HipState.I1_SENT,
+                                          HipState.I2_SENT))
+            self._transition(assoc, HipState.CLOSING,
+                             expect_from=(HipState.ESTABLISHED,))
+            self._transition(assoc, HipState.CLOSED,
+                             expect_from=(HipState.ESTABLISHED, HipState.CLOSING))
+"""
+
+
+# ------------------------------------------------------------------ CONF001 --
+
+
+def test_conf001_fires_on_transition_outside_spec():
+    src = """
+        class D:
+            def f(self, assoc):
+                if assoc.state != HipState.ESTABLISHED:
+                    return
+                self._transition(assoc, HipState.I1_SENT)
+    """
+    [finding] = findings(src, "CONF001")
+    assert "ESTABLISHED -> I1_SENT" in finding.message
+
+
+def test_conf001_fires_on_statically_undeterminable_source():
+    src = """
+        class D:
+            def f(self, assoc):
+                self._transition(assoc, HipState.CLOSED)
+    """
+    [finding] = findings(src, "CONF001")
+    assert "expect_from" in finding.message
+
+
+def test_conf001_fires_on_illegal_expect_from_edge():
+    src = """
+        class D:
+            def f(self, assoc):
+                self._transition(assoc, HipState.I1_SENT,
+                                 expect_from=(HipState.CLOSED,))
+    """
+    [finding] = findings(src, "CONF001")
+    assert "CLOSED -> I1_SENT" in finding.message
+
+
+def test_conf001_fires_on_wrong_initial_state():
+    src = """
+        class Association:
+            state: HipState = HipState.ESTABLISHED
+    """
+    [finding] = findings(src, "CONF001")
+    assert "initial state ESTABLISHED" in finding.message
+
+
+def test_conf001_fires_on_direct_state_assignment_outside_spec():
+    src = """
+        class D:
+            def f(self, assoc):
+                if assoc.state == HipState.CLOSED:
+                    assoc.state = HipState.ESTABLISHED
+    """
+    [finding] = findings(src, "CONF001")
+    assert "CLOSED -> ESTABLISHED" in finding.message
+
+
+def test_conf001_clean_on_spec_edges_and_suppressible():
+    assert findings(ALL_HIP_EDGES, "CONF001") == []
+    src = """
+        class D:
+            def f(self, assoc):
+                self._transition(assoc, HipState.CLOSED)  # repro: ignore[CONF001] -- test fixture
+    """
+    assert findings(src, "CONF001") == []
+
+
+def test_conf001_does_not_bind_outside_machine_modules():
+    src = """
+        class D:
+            def f(self, assoc):
+                self._transition(assoc, HipState.I1_SENT,
+                                 expect_from=(HipState.CLOSED,))
+    """
+    assert findings(src, "CONF001", path="src/repro/sim/engine.py") == []
+
+
+# ------------------------------------------------------------------ CONF002 --
+
+
+def test_conf002_fires_on_missing_spec_edges():
+    src = """
+        class D:
+            def f(self, assoc):
+                self._transition(assoc, HipState.I1_SENT,
+                                 expect_from=(HipState.UNASSOCIATED,))
+    """
+    missing = findings(src, "CONF002")
+    assert len(missing) == len(HIP_SPEC.edges) - 1
+    assert any("CLOSING -> CLOSED" in f.message for f in missing)
+
+
+def test_conf002_clean_when_every_edge_has_a_handler():
+    assert findings(ALL_HIP_EDGES, "CONF002") == []
+
+
+# ------------------------------------------------------------------ CONF003 --
+
+
+def test_conf003_fires_on_literal_outside_canonical_set():
+    src = """
+        class D:
+            def f(self, assoc):
+                if assoc.state == "ESTABLISHD":
+                    pass
+    """
+    [finding] = findings(src, "CONF003")
+    assert "outside the canonical" in finding.message
+
+
+def test_conf003_fires_on_bare_canonical_literal():
+    src = """
+        class D:
+            def f(self, assoc):
+                if assoc.state == "ESTABLISHED":
+                    pass
+    """
+    [finding] = findings(src, "CONF003")
+    assert "HipState.ESTABLISHED" in finding.message
+
+
+def test_conf003_fires_on_literal_in_transition_and_unknown_member():
+    src = """
+        class D:
+            def f(self, assoc):
+                self._transition(assoc, "CLOSING",
+                                 expect_from=(HipState.ESTABLISHD,))
+    """
+    messages = [f.message for f in findings(src, "CONF003")]
+    assert any("'CLOSING'" in m for m in messages)
+    assert any("ESTABLISHD is not a canonical member" in m for m in messages)
+
+
+def test_conf003_fires_on_reversed_operand_literal():
+    src = """
+        class D:
+            def f(self, assoc):
+                if "CLOSING" == assoc.state:
+                    pass
+    """
+    assert len(findings(src, "CONF003")) == 1
+
+
+def test_conf003_clean_on_enum_members():
+    src = """
+        class D:
+            def f(self, assoc):
+                if assoc.state in (HipState.ESTABLISHED, HipState.CLOSING):
+                    pass
+    """
+    assert findings(src, "CONF003") == []
+
+
+# ------------------------------------------------------------ guard inference --
+
+
+def test_guard_inference_shapes():
+    src = textwrap.dedent(
+        """
+        class D:
+            def none_or_ne(self, assoc):
+                if assoc is None or assoc.state != HipState.I1_SENT:
+                    return
+                self._transition(assoc, HipState.I2_SENT)
+
+            def not_in(self, assoc):
+                if assoc.state not in (HipState.ESTABLISHED, HipState.CLOSING):
+                    return
+                self._transition(assoc, HipState.CLOSED)
+
+            def while_eq(self, assoc):
+                while assoc.state == HipState.I1_SENT:
+                    self._transition(assoc, HipState.FAILED)
+
+            def alias(self, assoc):
+                if not assoc.is_established:
+                    return
+                self._transition(assoc, HipState.CLOSING)
+
+            def positive_if(self, assoc):
+                if assoc.state == HipState.UNASSOCIATED:
+                    self._transition(assoc, HipState.I1_SENT)
+        """
+    )
+    ctx = ModuleContext(path=HIP_PATH, source=src, tree=ast.parse(src))
+    extracted = extract(ctx)
+    assert set(extracted.edges) == {
+        ("I1_SENT", "I2_SENT"),
+        ("ESTABLISHED", "CLOSED"),
+        ("CLOSING", "CLOSED"),
+        ("I1_SENT", "FAILED"),
+        ("ESTABLISHED", "CLOSING"),
+        ("UNASSOCIATED", "I1_SENT"),
+    }
+    assert extracted.unknown_sources == []
+
+
+def test_rebinding_invalidates_guard_facts():
+    src = textwrap.dedent(
+        """
+        class D:
+            def f(self, assoc):
+                if assoc.state != HipState.I1_SENT:
+                    return
+                assoc = self.other()
+                self._transition(assoc, HipState.I2_SENT)
+        """
+    )
+    ctx = ModuleContext(path=HIP_PATH, source=src, tree=ast.parse(src))
+    extracted = extract(ctx)
+    assert extracted.edges == {}
+    assert len(extracted.unknown_sources) == 1
+
+
+# --------------------------------------------------------------- acceptance --
+
+
+def test_spec_tables_match_live_enums():
+    from repro.hip.daemon import HipState
+    from repro.tls.vpn import TunnelState
+
+    assert {(m.name, m.value) for m in HipState} == set(HIP_SPEC.members)
+    assert {(m.name, m.value) for m in TunnelState} == set(VPN_SPEC.members)
+    for spec in SPECS:
+        names = spec.member_names
+        assert spec.initial in names
+        for frm, to in spec.edges:
+            assert frm in names and to in names
+
+
+def test_spec_for_resolves_machine_modules():
+    assert spec_for(HIP_PATH) is HIP_SPEC
+    assert spec_for(VPN_PATH) is VPN_SPEC
+    assert spec_for("src/repro/hip/esp.py") is None
+
+
+@pytest.mark.parametrize(
+    "path, spec",
+    [(HIP_PATH, HIP_SPEC), (VPN_PATH, VPN_SPEC)],
+    ids=["hip", "vpn"],
+)
+def test_extracted_graph_matches_spec_exactly(path, spec):
+    """Acceptance criterion: the graph extracted from the shipped module
+    equals the declarative RFC table — no extra edges, no missing edges,
+    nothing statically undeterminable, no bare literals."""
+    extracted = _extract(path)
+    assert set(extracted.edges) == set(spec.edges)
+    assert extracted.unknown_sources == []
+    assert extracted.bad_literals == []
+    assert extracted.bad_members == []
+    assert extracted.bad_initials == []
