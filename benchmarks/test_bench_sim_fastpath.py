@@ -1,0 +1,26 @@
+"""Pytest wrapper around the simulator fast-path benchmark.
+
+Runs :mod:`benchmarks.bench_sim` in quick mode and asserts a conservative
+floor (2x) on the end-to-end iperf speedup so CI catches an engine/dataplane
+fast-path regression without being flaky on loaded machines.  The committed
+``BENCH_sim.json`` is produced by the direct, longer run
+(``python benchmarks/bench_sim.py``, 3x acceptance target).
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_sim import run_bench, write_report
+
+# Loaded shared CI runners can halve throughput; the direct run demonstrates
+# the real >= 3x, this floor only guards against losing the fast path.
+FLOOR = 2.0
+
+
+def test_sim_fastpath_speedup():
+    report = run_bench(quick=True)
+    write_report(report)
+    results = report["results"]
+    assert results["iperf_e2e"]["speedup"] >= FLOOR
+    # The raw callback lane must outpace process-lane dispatch outright.
+    assert results["dispatch"]["callback_lane_speedup"] >= 1.2
+    assert results["iperf_e2e"]["simulated_packets"] > 1000

@@ -9,9 +9,12 @@ store-and-forward model; with TCP on top it yields the familiar
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable
 
 from repro.metrics import METRICS, RECORDER
+from repro.sim.engine import _KIND_CALL
 from repro.sim.resources import Queue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,8 +34,20 @@ _QUEUE_DROPS = METRICS.counter("link.queue_drops")
 WIRE_TAPS: list[Callable[["Packet"], None]] = []
 
 
+#: Flush batched per-endpoint tallies into the global counters at most this
+#: many packets apart while a burst is in flight (idle links always flush).
+_FLUSH_EVERY = 64
+
+
 class LinkEndpoint:
-    """One direction of a link: egress queue + serializer process."""
+    """One direction of a link: egress queue + serializer.
+
+    On the engine fast path the serializer is a callback-lane state machine:
+    transmit-complete and propagation-delivery are raw ``call_later`` timers
+    (FIFO per direction guaranteed by the heap's sequence tie-break), and
+    the global metrics counters are fed from batched per-endpoint tallies.
+    On the reference path it is the classic pair of generator processes.
+    """
 
     def __init__(
         self,
@@ -61,13 +76,55 @@ class LinkEndpoint:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.lost_packets = 0
-        sim.process(self._transmitter(), name="link-tx")
+        self._fast = sim.fast_path
+        if self._fast:
+            self._tx_busy = False
+            self._tx_current: "Packet | None" = None
+            self._tx_size = 0
+            self._tx_timer = None  # serializer TimerHandle, rearmed per packet
+            # The fast lane owns the egress queue exclusively (no process
+            # ever parks a getter on it), so enqueue/dequeue touch the
+            # backing deque directly.
+            self._q_items = self.queue._items
+            self._q_cap = self.queue.capacity
+            # Ring of delivery TimerHandles owned exclusively by this
+            # endpoint.  Deliveries are FIFO (fixed delay), so once the
+            # oldest handle has fired it can be rearmed for a new packet
+            # instead of allocating a fresh handle.
+            self._deliver_ring: deque = deque()
+            self._unflushed_pkts = 0
+            self._unflushed_bytes = 0
+            # One bound method each, created once and reused for every
+            # packet — the callback lane then allocates only heap tuples
+            # and TimerHandles.
+            self._tx_done_cb = self._tx_done
+            self._deliver_cb = self._deliver_packet
+        else:
+            sim.process(self._transmitter(), name="link-tx")
 
     def send(self, packet: "Packet") -> bool:
         """Enqueue for transmission; returns False if the queue dropped it."""
-        for tap in WIRE_TAPS:
-            tap(packet)
-        ok = self.queue.try_put(packet)
+        if WIRE_TAPS:
+            for tap in WIRE_TAPS:
+                tap(packet)
+        if self._fast:
+            if self._tx_busy:
+                items = self._q_items
+                if self._q_cap is not None and len(items) >= self._q_cap:
+                    self.queue.dropped += 1
+                    ok = False
+                else:
+                    items.append(packet)
+                    ok = True
+            else:
+                # Idle link: the packet goes straight to the serializer
+                # (mirroring the reference path, where a parked getter takes
+                # it without occupying queue capacity).
+                self._tx_busy = True
+                self._start_tx(packet)
+                ok = True
+        else:
+            ok = self.queue.try_put(packet)
         if not ok:
             _QUEUE_DROPS.inc()
             if RECORDER.enabled:
@@ -76,6 +133,97 @@ class LinkEndpoint:
                 )
         return ok
 
+    # -- fast path: callback-lane serializer ----------------------------------
+    def _start_tx(self, packet: "Packet") -> None:
+        self._tx_current = packet
+        # Inline ``size_bytes``: this is the only hot-path consumer and the
+        # measured size is reused for counters and the delivery callback.
+        size = len(packet.payload)
+        for header in packet.headers:
+            size += header.header_len
+        self._tx_size = size
+        timer = self._tx_timer
+        if timer is None:
+            self._tx_timer = self.sim.call_later(
+                size * 8.0 / self.bandwidth_bps, self._tx_done_cb
+            )
+        else:
+            # The serializer handles one packet at a time, so its timer is
+            # never pending here — rearm the same handle instead of
+            # allocating a fresh one per packet.  ``TimerHandle.rearm``
+            # inlined (serialize time is always >= 0, so no validation):
+            sim = self.sim
+            sim._seq += 1
+            seq = sim._seq
+            timer._when = when = sim._now + size * 8.0 / self.bandwidth_bps
+            timer._entry_seq = seq
+            heappush(sim._heap, (when, seq, _KIND_CALL, timer))
+
+    def _tx_done(self) -> None:
+        size = self._tx_size
+        packet = self._tx_current
+        self.tx_packets += 1
+        self.tx_bytes += size
+        self._unflushed_pkts += 1
+        self._unflushed_bytes += size
+        if RECORDER.enabled:
+            RECORDER.record(self.sim.now, "link", "tx", bytes=size)
+        if self.loss_rate and self.loss_rng.random() < self.loss_rate:
+            self.lost_packets += 1
+            _LOST.inc()
+            if RECORDER.enabled:
+                RECORDER.record(self.sim.now, "link", "loss", bytes=size)
+        else:
+            # Propagation: deliver after the delay; the serializer moves on.
+            # The measured size rides along so the receiving interface does
+            # not recompute the ``size_bytes`` property.
+            ring = self._deliver_ring
+            if ring and ring[0]._entry_seq < 0:
+                handle = ring.popleft()
+                handle._arg = (packet, size)
+                # Inlined ``TimerHandle.rearm`` (delay_s validated >= 0 at
+                # construction).
+                sim = self.sim
+                sim._seq += 1
+                seq = sim._seq
+                handle._when = when = sim._now + self.delay_s
+                handle._entry_seq = seq
+                heappush(sim._heap, (when, seq, _KIND_CALL, handle))
+            else:
+                handle = self.sim.call_later(
+                    self.delay_s, self._deliver_cb, (packet, size)
+                )
+            ring.append(handle)
+        items = self._q_items
+        if items:
+            if self._unflushed_pkts >= _FLUSH_EVERY:
+                self.flush_stats()
+            self._start_tx(items.popleft())
+        else:
+            self._tx_busy = False
+            self._tx_current = None
+            self.flush_stats()
+
+    def _deliver_packet(self, item: "tuple[Packet, int]") -> None:
+        peer = self.peer
+        if peer is not None:
+            # Inlined Interface.receive: the serializer already measured the
+            # packet, so the size rides along instead of being recomputed
+            # from the ``size_bytes`` property.
+            packet, size = item
+            peer.rx_packets += 1
+            peer.rx_bytes += size
+            peer.node._on_receive(packet, peer)
+
+    def flush_stats(self) -> None:
+        """Fold batched per-endpoint tallies into the global counters."""
+        if self._unflushed_pkts:
+            _TX_PACKETS.value += self._unflushed_pkts
+            _TX_BYTES.value += self._unflushed_bytes
+            self._unflushed_pkts = 0
+            self._unflushed_bytes = 0
+
+    # -- reference path: serializer + delivery processes ----------------------
     def _transmitter(self):
         while True:
             packet = yield self.queue.get()

@@ -47,9 +47,13 @@ class Interface:
     def add_address(self, addr: IPAddress) -> None:
         if addr not in self.addresses:
             self.addresses.append(addr)
+            self.node._addr_cache = None
+            self.node._addr_hit = None
 
     def remove_address(self, addr: IPAddress) -> None:
         self.addresses.remove(addr)
+        self.node._addr_cache = None
+        self.node._addr_hit = None
 
     def attach(self, endpoint: "LinkEndpoint") -> None:
         if self._endpoint is not None:
@@ -69,6 +73,7 @@ class Interface:
         self.rx_packets += 1
         self.rx_bytes += packet.size_bytes
         self.node._on_receive(packet, self)
+
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Interface {self.node.name}.{self.name} {self.addresses}>"
@@ -93,6 +98,14 @@ class Node:
         self.cpu_scale = cpu_scale
         self.cost_model = cost_model or CostModel()
         self.forwarding = forwarding
+        self._fast = sim.fast_path
+        self._addr_cache: frozenset[IPAddress] | None = None
+        # One-entry identity caches for the dataplane fast path.  Parsed
+        # addresses are interned (lru_cache in repro.net.addresses) and a
+        # connection reuses the same address objects for every packet, so an
+        # ``is`` check replaces a hashed set lookup almost every time.
+        self._addr_hit: IPAddress | None = None  # last address confirmed local
+        self._ip_hdr_cache: IPHeader | None = None  # last header built by send_ip
         self.interfaces: list[Interface] = []
         self.routes = RouteTable()
         self._protocol_handlers: dict[str, ProtocolHandler] = {}
@@ -127,6 +140,20 @@ class Node:
 
     def has_address(self, addr: IPAddress) -> bool:
         return any(addr in iface.addresses for iface in self.interfaces)
+
+    def _addrs(self) -> frozenset[IPAddress]:
+        """All local addresses as a set (fast-path ``has_address``).
+
+        Rebuilt lazily after any address change; :meth:`Interface.add_address`
+        and :meth:`Interface.remove_address` invalidate the cache.
+        """
+        cached = self._addr_cache
+        if cached is None:
+            cached = frozenset(
+                addr for iface in self.interfaces for addr in iface.addresses
+            )
+            self._addr_cache = cached
+        return cached
 
     def register_protocol(self, proto: str, handler: ProtocolHandler) -> None:
         if proto in self._protocol_handlers:
@@ -181,9 +208,72 @@ class Node:
             if src is None:
                 self.dropped_no_route += 1
                 return False
-        packet = payload_packet.pushed(IPHeader(src=src, dst=dst, proto=proto, ttl=ttl))
+        if self._fast:
+            # Same result as ``payload_packet.pushed(...)`` without the
+            # ``dataclasses.replace`` machinery — this runs once per
+            # locally-originated packet.  Headers are immutable values, so a
+            # flow's identical (src, dst, proto, ttl) header is shared
+            # between consecutive packets instead of rebuilt.
+            hdr = self._ip_hdr_cache
+            if (
+                hdr is None
+                or hdr.dst is not dst
+                or hdr.src is not src
+                or hdr.ttl != ttl
+                or hdr.proto != proto
+            ):
+                hdr = IPHeader(src=src, dst=dst, proto=proto, ttl=ttl)
+                self._ip_hdr_cache = hdr
+            packet = Packet(
+                headers=(hdr,) + payload_packet.headers,
+                payload=payload_packet.payload,
+                meta=payload_packet.meta,
+                packet_id=payload_packet.packet_id,
+            )
+        else:
+            packet = payload_packet.pushed(IPHeader(src=src, dst=dst, proto=proto, ttl=ttl))
         if not bypass_shims:
             for shim in self._output_shims:
+                result = shim(self, packet)
+                if result is None:
+                    return True  # consumed by the shim
+                packet = result
+        return self._route_out(packet)
+
+    def send_ip_fast(
+        self,
+        dst: IPAddress,
+        proto: str,
+        headers: tuple,
+        payload,
+        src: IPAddress | None = None,
+        ttl: int = 64,
+    ) -> bool:
+        """Fast-path :meth:`send_ip` taking raw (headers, payload).
+
+        Behaviourally identical to wrapping ``Packet(headers, payload)`` in
+        :meth:`send_ip`, but builds the wire packet in one allocation instead
+        of inner-packet-then-push.  Only used when ``sim.fast_path`` is on.
+        """
+        if src is None:
+            src = self._pick_source(dst)
+            if src is None:
+                self.dropped_no_route += 1
+                return False
+        hdr = self._ip_hdr_cache
+        if (
+            hdr is None
+            or hdr.dst is not dst
+            or hdr.src is not src
+            or hdr.ttl != ttl
+            or hdr.proto != proto
+        ):
+            hdr = IPHeader(src=src, dst=dst, proto=proto, ttl=ttl)
+            self._ip_hdr_cache = hdr
+        packet = Packet((hdr,) + headers, payload)
+        shims = self._output_shims
+        if shims:
+            for shim in shims:
                 result = shim(self, packet)
                 if result is None:
                     return True  # consumed by the shim
@@ -204,6 +294,22 @@ class Node:
         return None
 
     def _route_out(self, packet: Packet) -> bool:
+        if self._fast:
+            ip = packet.headers[0]
+            dst = ip.dst
+            if dst is self._addr_hit:
+                self._dispatch_local(packet, None)
+                return True
+            if dst in self._addrs():
+                self._addr_hit = dst
+                self._dispatch_local(packet, None)
+                return True
+            iface = self.routes.lookup_cached(dst)
+            endpoint = None if iface is None else iface._endpoint
+            if endpoint is None:  # no route, or egress not attached to a link
+                self.dropped_no_route += 1
+                return False
+            return endpoint.send(packet)
         ip = packet.outer
         assert isinstance(ip, IPHeader)
         if self.has_address(ip.dst):
@@ -218,6 +324,26 @@ class Node:
 
     # -- receiving ---------------------------------------------------------------------
     def _on_receive(self, packet: Packet, iface: Interface | None) -> None:
+        if self._fast:
+            headers = packet.headers
+            ip = headers[0] if headers else None
+            if not isinstance(ip, IPHeader):
+                self.dropped_no_handler += 1
+                return
+            dst = ip.dst
+            if dst is self._addr_hit or dst in self._addrs():
+                self._addr_hit = dst
+                handler = self._protocol_handlers.get(ip.proto)
+                if handler is None:
+                    self.dropped_no_handler += 1
+                    return
+                handler(self, packet, iface)
+                return
+            if self.forwarding:
+                self._forward(packet)
+                return
+            self.dropped_no_route += 1
+            return
         ip = packet.outer
         if not isinstance(ip, IPHeader):
             self.dropped_no_handler += 1
@@ -240,6 +366,25 @@ class Node:
         handler(self, packet, iface)  # type: ignore[arg-type]
 
     def _forward(self, packet: Packet) -> None:
+        if self._fast:
+            headers = packet.headers
+            ip = headers[0]
+            if ip.ttl <= 1:
+                self.dropped_ttl += 1
+                return
+            fresh = Packet(
+                headers=(IPHeader(src=ip.src, dst=ip.dst, proto=ip.proto, ttl=ip.ttl - 1),)
+                + headers[1:],
+                payload=packet.payload,
+                meta=packet.meta,
+                packet_id=packet.packet_id,
+            )
+            egress = self.routes.lookup_cached(ip.dst)
+            if egress is None or not egress.is_attached:
+                self.dropped_no_route += 1
+                return
+            egress.send(fresh)
+            return
         ip, inner = packet.popped()
         assert isinstance(ip, IPHeader)
         if ip.ttl <= 1:

@@ -28,12 +28,22 @@ class RouteTable:
 
     def __init__(self) -> None:
         self._routes: dict[int, list[Route]] = {4: [], 6: []}
+        # Memoized lookup results; lookup is deterministic for a fixed table,
+        # so entries stay valid until add()/remove() clears them.  The
+        # one-entry identity cache fronts the dict: parsed addresses are
+        # interned, so bulk flows re-present the same object every packet
+        # and skip even the dict hash.
+        self._cache: dict[IPAddress, "Interface | None"] = {}
+        self._hot_dst: IPAddress | None = None
+        self._hot_iface: "Interface | None" = None
 
     def add(self, prefix: Prefix, interface: "Interface") -> None:
         family = prefix.network.family
         self._routes[family].append(Route(prefix, interface))
         # Keep sorted by descending length so lookup can stop at first hit.
         self._routes[family].sort(key=lambda r: -r.prefix.length)
+        self._cache.clear()
+        self._hot_dst = None
 
     def remove(self, prefix: Prefix, interface: "Interface | None" = None) -> int:
         """Remove routes matching ``prefix`` (and iface, if given); returns count."""
@@ -43,6 +53,8 @@ class RouteTable:
             r for r in self._routes[family]
             if not (r.prefix == prefix and (interface is None or r.interface is interface))
         ]
+        self._cache.clear()
+        self._hot_dst = None
         return before - len(self._routes[family])
 
     def lookup(self, dst: IPAddress) -> "Interface | None":
@@ -50,6 +62,23 @@ class RouteTable:
             if route.prefix.contains(dst):
                 return route.interface
         return None
+
+    def lookup_cached(self, dst: IPAddress) -> "Interface | None":
+        """Memoized longest-prefix match (the dataplane fast path).
+
+        Same result as :meth:`lookup`; repeated queries for the same
+        destination hit a dict that table mutations invalidate.
+        """
+        if dst is self._hot_dst:
+            return self._hot_iface
+        try:
+            iface = self._cache[dst]
+        except KeyError:
+            iface = self.lookup(dst)
+            self._cache[dst] = iface
+        self._hot_dst = dst
+        self._hot_iface = iface
+        return iface
 
     def routes(self, family: int | None = None) -> list[Route]:
         if family is None:

@@ -19,9 +19,11 @@ stream machinery is agnostic between them.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Generator
 
 from repro.metrics import METRICS, RECORDER
+from repro.sim.engine import _KIND_CALL
 from repro.net.addresses import IPAddress
 from repro.net.packet import Packet, Payload, TCPHeader, VirtualPayload
 from repro.sim.resources import Queue
@@ -40,6 +42,28 @@ DEFAULT_MSS = 1448  # bytes of payload per segment (Ethernet MTU - headers)
 DEFAULT_WINDOW = 65535
 MIN_RTO = 0.2
 MAX_RTO = 60.0
+DELACK_TIMEOUT = 0.04
+
+#: Shared flag set for the overwhelmingly common case (data segments and
+#: pure ACKs) — the fast path reuses it instead of allocating a fresh
+#: ``frozenset`` per segment.
+_ACK_FLAGS = frozenset({"ACK"})
+_NO_FLAGS: frozenset[str] = frozenset()
+
+#: Free list for inflight-segment metadata dicts.  Every data segment
+#: allocates one of these and the ACK path pops it a round-trip later; the
+#: pool recycles them so bulk transfers stop churning the allocator.  Dicts
+#: are released only once popped from an inflight deque (never while a
+#: retransmit path can still hold a reference) and every field is
+#: reassigned on reuse.
+_SEG_POOL: list[dict] = []
+_SEG_POOL_MAX = 512
+
+
+def _seg_release(entry: dict) -> None:
+    if len(_SEG_POOL) < _SEG_POOL_MAX:
+        entry["payload"] = None  # don't pin payload bytes while pooled
+        _SEG_POOL.append(entry)
 
 
 class TcpError(Exception):
@@ -73,6 +97,7 @@ class TcpConnection:
         self.remote_addr = remote_addr
         self.remote_port = remote_port
         self.mss = mss
+        self._fast = self.sim.fast_path
         self.state = "CLOSED"
 
         # --- send side ---
@@ -90,6 +115,13 @@ class TcpConnection:
         self.rto = 1.0
         self._handshake_retx = 0
         self._timer_gen = 0
+        self._rto_timer = None  # TimerHandle (fast path); rearmed in place
+        self._delack_handle = None  # TimerHandle (fast path); rearmed in place
+        # Fast path: bulk senders cut identical VirtualPayload slices (one
+        # MSS each) for thousands of segments in a row; VirtualPayload is
+        # immutable, so one shared instance per (size, tag) is safe.
+        self._vp_cache: VirtualPayload | None = None
+        self._vp_cache_key: tuple[int, str] = (-1, "")
         self._fin_queued = False
         self._fin_seq: int | None = None
 
@@ -218,16 +250,34 @@ class TcpConnection:
         payload: Payload = b"",
         register_inflight: bool = False,
     ) -> None:
+        if "SYN" in flags and self.state == "SYN_SENT":
+            eff_flags = flags
+        elif flags:
+            eff_flags = flags | _ACK_FLAGS
+        elif self._fast:
+            eff_flags = _ACK_FLAGS  # shared set, no per-segment allocation
+        else:
+            eff_flags = flags | frozenset({"ACK"})  # reference path, as before
+        if self._fast:
+            # ``_rx_backlog()`` is a constant 0 — skip the call per segment.
+            window = self.recv_window
+        else:
+            window = max(0, self.recv_window - self._rx_backlog())
         header = TCPHeader(
-            src_port=self.local_port,
-            dst_port=self.remote_port,
-            seq=self.snd_nxt if seq is None else seq,
-            ack=self.rcv_nxt,
-            flags=flags | frozenset({"ACK"}) if self.state != "SYN_SENT" or "SYN" not in flags else flags,
-            window=max(0, self.recv_window - self._rx_backlog()),
+            self.local_port,
+            self.remote_port,
+            self.snd_nxt if seq is None else seq,
+            self.rcv_nxt,
+            eff_flags,
+            window,
         )
-        packet = Packet(headers=(header,), payload=payload)
-        self.node.send_ip(self.remote_addr, "tcp", packet, src=self.local_addr)
+        if self._fast:
+            self.node.send_ip_fast(
+                self.remote_addr, "tcp", (header,), payload, self.local_addr
+            )
+        else:
+            packet = Packet(headers=(header,), payload=payload)
+            self.node.send_ip(self.remote_addr, "tcp", packet, src=self.local_addr)
         self.segments_sent += 1
         _SEGMENTS_SENT.value += 1
         if RECORDER.enabled:
@@ -237,16 +287,25 @@ class TcpConnection:
                 seq=header.seq, flags=sorted(header.flags), len=len(payload),
             )
         if register_inflight:
-            self.inflight.append(
-                {
+            seg_len = len(payload) + (1 if "FIN" in flags or "SYN" in flags else 0)
+            if _SEG_POOL:
+                entry = _SEG_POOL.pop()
+                entry["seq"] = header.seq
+                entry["len"] = seg_len
+                entry["payload"] = payload
+                entry["flags"] = flags
+                entry["sent_at"] = self.sim.now
+                entry["retx"] = 0
+            else:
+                entry = {
                     "seq": header.seq,
-                    "len": len(payload) + (1 if "FIN" in flags or "SYN" in flags else 0),
+                    "len": seg_len,
                     "payload": payload,
                     "flags": flags,
                     "sent_at": self.sim.now,
                     "retx": 0,
                 }
-            )
+            self.inflight.append(entry)
 
     def _rx_backlog(self) -> int:
         return 0  # the rx queue is drained by the app; modeling backlog is out of scope
@@ -267,7 +326,7 @@ class TcpConnection:
                 seq = self.snd_nxt
                 self.snd_nxt += seg_len
                 self.bytes_sent += seg_len
-                self._send_segment(payload=payload, seq=seq, register_inflight=True)
+                self._send_segment(_NO_FLAGS, seq, payload, True)
                 continue
             if (
                 self._fin_queued
@@ -290,16 +349,54 @@ class TcpConnection:
         while self.snd_buf and self.snd_buf[0][0] + len(self.snd_buf[0][1]) <= self.snd_una:
             self.snd_buf.popleft()
         for start, chunk in self.snd_buf:
-            if start <= seq < start + len(chunk):
-                take = min(length, start + len(chunk) - seq)
+            clen = len(chunk)
+            if start <= seq < start + clen:
+                take = min(length, start + clen - seq)
+                if self._fast and isinstance(chunk, VirtualPayload):
+                    key = (take, chunk.tag)
+                    if key == self._vp_cache_key:
+                        return self._vp_cache
+                    vp = VirtualPayload(size=take, tag=chunk.tag)
+                    self._vp_cache, self._vp_cache_key = vp, key
+                    return vp
                 return _slice_payload(chunk, seq - start, take)
         raise TcpError(f"send buffer does not cover seq {seq}")
 
     # -- timers -----------------------------------------------------------------------
     def _arm_timer(self) -> None:
+        if self._fast:
+            # Callback-lane timer, rearmed in place: no generator process,
+            # no Event, no per-arm name string.  Stale firings are skipped
+            # by the handle's lazy-deletion check in the engine.
+            handle = self._rto_timer
+            if handle is None:
+                self._rto_timer = self.sim.call_later(
+                    self.rto, TcpConnection._rto_fired, self
+                )
+            else:
+                # Inlined ``TimerHandle.rearm`` (self.rto is clamped > 0).
+                sim = self.sim
+                sim._seq += 1
+                seq = sim._seq
+                handle._when = when = sim._now + self.rto
+                handle._entry_seq = seq
+                heappush(sim._heap, (when, seq, _KIND_CALL, handle))
+            return
         self._timer_gen += 1
         gen = self._timer_gen
         self.sim.process(self._timer(gen), name=f"tcp-rto-{self.local_port}")
+
+    def _cancel_timer(self) -> None:
+        self._timer_gen += 1  # invalidates reference-path timer processes
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+
+    def _rto_fired(self) -> None:
+        if self.state == "CLOSED":
+            return
+        if self.snd_una >= self.snd_nxt and self.state in ("ESTABLISHED",):
+            return  # everything acked meanwhile
+        self._on_rto()
 
     def _timer(self, gen: int) -> Generator:
         yield self.sim.timeout(self.rto)
@@ -350,13 +447,14 @@ class TcpConnection:
     def _on_segment(self, tcp: TCPHeader, payload: Payload) -> None:
         if self.state == "CLOSED":
             return
-        if tcp.has("RST"):
+        flags = tcp.flags  # bound once; this runs for every delivered segment
+        if "RST" in flags:
             self._teardown(TcpError("connection reset by peer"))
             return
         self.peer_window = tcp.window
 
         if self.state == "SYN_SENT":
-            if tcp.has("SYN") and tcp.has("ACK") and tcp.ack == 1:
+            if "SYN" in flags and "ACK" in flags and tcp.ack == 1:
                 self.rcv_nxt = 1
                 self.snd_una = 1
                 self.state = "ESTABLISHED"
@@ -366,7 +464,7 @@ class TcpConnection:
             return
 
         if self.state == "SYN_RCVD":
-            if tcp.has("ACK") and tcp.ack >= 1:
+            if "ACK" in flags and tcp.ack >= 1:
                 self.snd_una = 1
                 self.state = "ESTABLISHED"
                 self._established_evt.succeed(self)
@@ -374,12 +472,12 @@ class TcpConnection:
                 self._pump()
             # fall through: the ACK may carry data too
 
-        if tcp.has("ACK"):
+        if "ACK" in flags:
             self._process_ack(tcp.ack)
 
-        seg_len = len(payload) + (1 if tcp.has("FIN") else 0)
-        if seg_len:
-            self._process_data(tcp.seq, payload, tcp.has("FIN"))
+        fin = "FIN" in flags
+        if fin or len(payload):
+            self._process_data(tcp.seq, payload, fin)
 
     def _process_ack(self, ack: int) -> None:
         if ack > self.snd_nxt:
@@ -391,17 +489,19 @@ class TcpConnection:
             self.dup_acks = 0
             self.rto = min(max(self.rto, MIN_RTO), MAX_RTO)
             # RTT sampling from the oldest newly-acked, non-retransmitted segment.
-            while self.inflight and self.inflight[0]["seq"] + self.inflight[0]["len"] <= ack:
-                entry = self.inflight.popleft()
+            inflight = self.inflight
+            while inflight and inflight[0]["seq"] + inflight[0]["len"] <= ack:
+                entry = inflight.popleft()
                 if entry["retx"] == 0:
                     self._update_rtt(self.sim.now - entry["sent_at"])
+                _seg_release(entry)
             # Congestion window growth.
             if self.cwnd < self.ssthresh:
                 self.cwnd += min(acked, self.mss)  # slow start
             else:
                 self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # AIMD
             if self.snd_una >= self.snd_nxt:
-                self._timer_gen += 1  # everything acked: cancel timer
+                self._cancel_timer()  # everything acked
                 if self.state == "FIN_WAIT" and self._fin_seq is not None and ack > self._fin_seq:
                     self._maybe_finish()
             else:
@@ -441,11 +541,12 @@ class TcpConnection:
         _RTT.observe(sample)
 
     def _process_data(self, seq: int, payload: Payload, fin: bool) -> None:
-        if seq > self.rcv_nxt:
+        rcv_nxt = self.rcv_nxt
+        if seq > rcv_nxt:
             self.ooo[seq] = (payload, fin)
             self._send_segment()  # dup ACK signals the gap
             return
-        if seq + len(payload) + (1 if fin else 0) <= self.rcv_nxt:
+        if seq + len(payload) + (1 if fin else 0) <= rcv_nxt:
             self._send_segment()  # pure duplicate; re-ACK
             return
         # In-order (possibly with overlap, which our sender never produces).
@@ -463,22 +564,43 @@ class TcpConnection:
             self._ack_now()
         elif not self._delack_timer_armed:
             self._delack_timer_armed = True
-            self.sim.process(self._delack_timer(), name="tcp-delack")
+            if self._fast:
+                handle = self._delack_handle
+                if handle is None:
+                    self._delack_handle = self.sim.call_later(
+                        DELACK_TIMEOUT, TcpConnection._delack_fired, self
+                    )
+                else:
+                    # Inlined ``TimerHandle.rearm`` (constant positive delay).
+                    sim = self.sim
+                    sim._seq += 1
+                    seq = sim._seq
+                    handle._when = when = sim._now + DELACK_TIMEOUT
+                    handle._entry_seq = seq
+                    heappush(sim._heap, (when, seq, _KIND_CALL, handle))
+            else:
+                self.sim.process(self._delack_timer(), name="tcp-delack")
 
     def _ack_now(self) -> None:
         self._delack_pending = 0
         self._send_segment()  # cumulative ACK
 
+    def _delack_fired(self) -> None:
+        self._delack_timer_armed = False
+        if self._delack_pending and self.state not in ("CLOSED",):
+            self._ack_now()
+
     def _delack_timer(self) -> Generator:
-        yield self.sim.timeout(0.04)
+        yield self.sim.timeout(DELACK_TIMEOUT)
         self._delack_timer_armed = False
         if self._delack_pending and self.state not in ("CLOSED",):
             self._ack_now()
 
     def _accept_data(self, payload: Payload, fin: bool) -> None:
-        if len(payload):
-            self.rcv_nxt += len(payload)
-            self.bytes_received += len(payload)
+        plen = len(payload)
+        if plen:
+            self.rcv_nxt += plen
+            self.bytes_received += plen
             self.rx.try_put(payload)
         if fin:
             self.rcv_nxt += 1
@@ -498,7 +620,7 @@ class TcpConnection:
         if self.state == "CLOSED":
             return
         self.state = "CLOSED"
-        self._timer_gen += 1
+        self._cancel_timer()
         self.stack._forget(self)
         if error is not None:
             _FAILURES.inc()
@@ -547,6 +669,7 @@ class TcpStack:
         self._connections: dict[tuple, TcpConnection] = {}
         self._listeners: dict[int, TcpListener] = {}
         self._next_ephemeral = 33000
+        self._fast = node.sim.fast_path
         node.register_protocol("tcp", self._on_packet)
         self.rx_unmatched = 0
 
@@ -611,13 +734,24 @@ class TcpStack:
             listener.backlog.try_put(conn)
 
     def _on_packet(self, node: "Node", packet: Packet, iface: "Interface | None") -> None:
-        ip, inner = packet.popped()
-        tcp, body = inner.popped()
-        assert isinstance(tcp, TCPHeader)
+        if self._fast:
+            # Index the header stack in place: ``popped()`` allocates a new
+            # Packet per layer via ``dataclasses.replace`` and this handler
+            # runs once per delivered segment.  The inner packet's payload
+            # is the same object, so nothing else changes.
+            headers = packet.headers
+            ip = headers[0]
+            tcp = headers[1]
+            body_payload = packet.payload
+        else:
+            ip, inner = packet.popped()
+            tcp, body = inner.popped()
+            body_payload = body.payload
+            assert isinstance(tcp, TCPHeader)
         key = self._key(tcp.dst_port, ip.src, tcp.src_port)
         conn = self._connections.get(key)
         if conn is not None:
-            conn._on_segment(tcp, body.payload)
+            conn._on_segment(tcp, body_payload)
             return
         if tcp.has("SYN") and not tcp.has("ACK"):
             listener = self._listeners.get(tcp.dst_port)

@@ -1,15 +1,46 @@
-"""The discrete-event simulator core: clock, event heap, run loop."""
+"""The discrete-event simulator core: clock, event heap, run loop.
+
+The scheduler has two lanes sharing one heap, ordered by ``(when, seq)``:
+
+* the **Event lane** — full :class:`~repro.sim.events.Event` objects with
+  callback lists, what generator processes yield and wait on; and
+* the **callback lane** — raw ``fn(arg)`` timers behind a small
+  :class:`TimerHandle`, scheduled with :meth:`Simulator.call_later` /
+  :meth:`Simulator.call_at`.  No ``Event`` is allocated, cancellation is
+  lazy (a stale heap entry pops as a no-op), and a handle can be rearmed
+  in place, so per-packet machinery (link delivery, TCP retransmission
+  timers) costs one heap tuple instead of a generator process.
+
+Both lanes draw sequence numbers from the same counter, so same-timestamp
+entries fire strictly in scheduling order regardless of lane — the
+determinism contract the replay sanitizer enforces.
+"""
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator
 
 from repro.metrics import METRICS, RECORDER
-from repro.sim.events import Event, Process, Timeout
+from repro.sim.events import PROCESSED, Event, Process, Timeout
 
 _STEPS = METRICS.counter("sim.steps")
 _CRASHES = METRICS.counter("sim.process_crashes")
+
+#: Heap-entry kinds.  Entries are ``(when, seq, kind, payload)``; ``seq`` is
+#: unique, so ``kind``/``payload`` never participate in heap comparisons.
+_KIND_EVENT = 0
+_KIND_CALL = 1
+
+#: Sentinel: "call fn with no argument" (None must stay passable as an arg).
+_NO_ARG = object()
+
+#: Default scheduling mode for new :class:`Simulator` instances.  ``True``
+#: enables the zero-allocation fast path (callback-lane link delivery and
+#: TCP timers, direct process resume on already-processed events); ``False``
+#: selects the pre-fast-path reference behaviour, kept as the baseline for
+#: ``benchmarks/bench_sim.py`` and the cross-mode replay-equality tests.
+DEFAULT_FAST_PATH = True
 
 
 class StopProcess(Exception):
@@ -20,18 +51,76 @@ class SimTimeoutError(Exception):
     """Raised when a wait exceeds its deadline (see :meth:`Simulator.with_deadline`)."""
 
 
+class TimerHandle:
+    """Cancellable handle for a callback-lane timer.
+
+    Cancellation is *lazy*: :meth:`cancel` invalidates the handle and the
+    already-pushed heap entry is skipped when it surfaces, so cancelling is
+    O(1) with no heap surgery.  :meth:`rearm` reschedules the same handle
+    (same ``fn``/``arg``) at a new delay, invalidating any pending entry —
+    the idiom for self-rearming protocol timers (TCP RTO).
+    """
+
+    __slots__ = ("_sim", "_fn", "_arg", "_when", "_entry_seq")
+
+    def __init__(self, sim: "Simulator", fn: Callable, arg: Any) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._arg = arg
+        self._when = -1.0
+        self._entry_seq = -1
+
+    @property
+    def when(self) -> float:
+        """Absolute simulated time this timer is due (last armed time)."""
+        return self._when
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed and has neither fired nor been cancelled."""
+        return self._entry_seq >= 0
+
+    def cancel(self) -> bool:
+        """Deactivate the timer; returns whether it was still pending."""
+        if self._entry_seq < 0:
+            return False
+        self._entry_seq = -1
+        return True
+
+    def rearm(self, delay: float) -> "TimerHandle":
+        """(Re)schedule this timer ``delay`` seconds from now; returns self.
+
+        Any previously pending firing is cancelled — the handle tracks only
+        its newest heap entry.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay!r}")
+        sim = self._sim
+        sim._seq += 1
+        self._when = sim._now + delay
+        self._entry_seq = sim._seq
+        heappush(sim._heap, (self._when, sim._seq, _KIND_CALL, self))
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "inactive"
+        return f"<TimerHandle {state} when={self._when}>"
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
     Events scheduled for the same simulated time fire in the order they were
-    scheduled (FIFO via a monotonically increasing sequence number), which
-    makes whole-experiment runs bit-reproducible for a fixed seed.
+    scheduled (FIFO via a monotonically increasing sequence number shared by
+    the Event and callback lanes), which makes whole-experiment runs
+    bit-reproducible for a fixed seed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_path: bool | None = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = 0
+        self._fast = DEFAULT_FAST_PATH if fast_path is None else bool(fast_path)
         self._active_process: Process | None = None
         self._crashed: list[tuple[Process, BaseException]] = []
         # Live processes in creation order (pid -> Process), pruned on
@@ -44,6 +133,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def fast_path(self) -> bool:
+        """Whether the zero-allocation scheduling fast path is enabled."""
+        return self._fast
 
     @property
     def active_process(self) -> Process | None:
@@ -62,18 +156,40 @@ class Simulator:
         """Register ``generator`` as a new process starting at the current time."""
         return Process(self, generator, name=name)
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn()`` at absolute simulated time ``when``."""
+    # -- callback lane --------------------------------------------------------
+    def call_later(self, delay: float, fn: Callable, arg: Any = _NO_ARG) -> TimerHandle:
+        """Run ``fn()`` (or ``fn(arg)``) after ``delay`` simulated seconds.
+
+        Returns a cancellable :class:`TimerHandle`.  This is the raw-callback
+        scheduling lane: no :class:`Event` is allocated and the callback runs
+        directly from the dispatch loop, interleaved FIFO with the Event lane
+        at equal timestamps.
+        """
+        if not callable(fn):
+            raise TypeError(f"call_later fn must be callable, got {fn!r}")
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay!r}")
+        # Inlined first arm (equivalent to TimerHandle(...).rearm(delay));
+        # this is the hottest scheduling entry point.
+        handle = TimerHandle(self, fn, arg)
+        self._seq += 1
+        handle._when = self._now + delay
+        handle._entry_seq = self._seq
+        heappush(self._heap, (handle._when, self._seq, _KIND_CALL, handle))
+        return handle
+
+    def call_at(self, when: float, fn: Callable, arg: Any = _NO_ARG) -> TimerHandle:
+        """Run ``fn()`` (or ``fn(arg)``) at absolute simulated time ``when``."""
         if when < self._now:
             raise ValueError(f"call_at into the past: {when} < {self._now}")
-        evt = Timeout(self, when - self._now)
-        evt.callbacks.append(lambda _e: fn())
-        return evt
+        if not callable(fn):
+            raise TypeError(f"call_at fn must be callable, got {fn!r}")
+        return TimerHandle(self, fn, arg).rearm(when - self._now)
 
     # -- scheduling (internal) ------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heappush(self._heap, (self._now + delay, self._seq, _KIND_EVENT, event))
 
     # -- process registry (internal) -------------------------------------------
     def _register_process(self, proc: Process) -> int:
@@ -95,8 +211,9 @@ class Simulator:
         send packets and bump process-global metrics from a dead simulation,
         which is exactly the kind of nondeterminism the replay sanitizer
         exists to catch.  ``close()`` runs those finalizers *now*, in process
-        creation order, then drops the event heap.  Returns the number of
-        processes closed.  The simulator must not be run afterwards.
+        creation order, then drops the event heap (pending callback-lane
+        timers are discarded with it — they never fire).  Returns the number
+        of processes closed.  The simulator must not be run afterwards.
         """
         closed = 0
         errors: list[tuple[str, BaseException]] = []
@@ -130,31 +247,49 @@ class Simulator:
 
     # -- run loop --------------------------------------------------------------
     def step(self) -> None:
-        """Process one event from the heap."""
-        when, _seq, event = heapq.heappop(self._heap)
+        """Pop and dispatch one heap entry (either lane)."""
+        when, seq, kind, payload = heappop(self._heap)
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = []  # type: ignore[assignment]
-        event._mark_processed()
-        for cb in callbacks:
-            cb(event)
+        if kind:
+            # Callback lane.  A stale entry (cancelled or rearmed handle)
+            # no longer matches the handle's live sequence number: skip.
+            if payload._entry_seq == seq:
+                payload._entry_seq = -1
+                arg = payload._arg
+                if arg is _NO_ARG:
+                    payload._fn()
+                else:
+                    payload._fn(arg)
+        else:
+            callbacks = payload.callbacks
+            payload.callbacks = []
+            payload._state = PROCESSED
+            for cb in callbacks:
+                cb(payload)
         if self._crashed:
-            # One event cascade can crash several processes; drain them all
-            # so no crash is retained and misattributed to a later step.
-            crashed, self._crashed = self._crashed, []
-            _CRASHES.inc(len(crashed))
-            if RECORDER.enabled:
-                for proc, exc in crashed:
-                    RECORDER.record(
-                        self._now, "sim", "process_crash",
-                        process=proc.name, error=repr(exc),
-                    )
-            names = ", ".join(repr(proc.name) for proc, _exc in crashed)
-            noun = "process" if len(crashed) == 1 else "processes"
-            raise RuntimeError(f"unhandled crash in {noun} {names}") from crashed[0][1]
+            self._raise_crashed()
+
+    def _raise_crashed(self) -> None:
+        # One event cascade can crash several processes; drain them all
+        # so no crash is retained and misattributed to a later step.
+        crashed, self._crashed = self._crashed, []
+        _CRASHES.inc(len(crashed))
+        if RECORDER.enabled:
+            for proc, exc in crashed:
+                RECORDER.record(
+                    self._now, "sim", "process_crash",
+                    process=proc.name, error=repr(exc),
+                )
+        names = ", ".join(repr(proc.name) for proc, _exc in crashed)
+        noun = "process" if len(crashed) == 1 else "processes"
+        raise RuntimeError(f"unhandled crash in {noun} {names}") from crashed[0][1]
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next scheduled entry, or ``inf`` if none.
+
+        May report a cancelled timer's deadline: stale callback-lane entries
+        stay heaped until they surface (lazy deletion).
+        """
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -168,24 +303,63 @@ class Simulator:
         """
         # The step counter is batched per run() call: one flush instead of a
         # counter-attribute store per event keeps the hot loop overhead nil.
+        # Each loop below inlines the body of :meth:`step` — at millions of
+        # events per run, the per-event method call is measurable.
         steps = 0
+        heap = self._heap
+        pop = heappop
+        no_arg = _NO_ARG
         try:
             if until is None:
-                while self._heap:
-                    self.step()
+                while heap:
                     steps += 1
+                    when, seq, kind, payload = pop(heap)
+                    self._now = when
+                    if kind:
+                        if payload._entry_seq == seq:
+                            payload._entry_seq = -1
+                            arg = payload._arg
+                            if arg is no_arg:
+                                payload._fn()
+                            else:
+                                payload._fn(arg)
+                    else:
+                        callbacks = payload.callbacks
+                        payload.callbacks = []
+                        payload._state = PROCESSED
+                        for cb in callbacks:
+                            cb(payload)
+                    if self._crashed:
+                        self._raise_crashed()
                 return None
 
             if isinstance(until, Event):
                 stop = until
                 while not stop.processed:
-                    if not self._heap:
+                    if not heap:
                         raise RuntimeError(
                             "simulation starved: event heap drained before the "
                             "awaited event fired (deadlock?)"
                         )
-                    self.step()
                     steps += 1
+                    when, seq, kind, payload = pop(heap)
+                    self._now = when
+                    if kind:
+                        if payload._entry_seq == seq:
+                            payload._entry_seq = -1
+                            arg = payload._arg
+                            if arg is no_arg:
+                                payload._fn()
+                            else:
+                                payload._fn(arg)
+                    else:
+                        callbacks = payload.callbacks
+                        payload.callbacks = []
+                        payload._state = PROCESSED
+                        for cb in callbacks:
+                            cb(payload)
+                    if self._crashed:
+                        self._raise_crashed()
                 if stop._ok:
                     return stop._value
                 raise stop._value
@@ -193,9 +367,26 @@ class Simulator:
             deadline = float(until)
             if deadline < self._now:
                 raise ValueError(f"run(until={deadline}) is in the past (now={self._now})")
-            while self._heap and self._heap[0][0] <= deadline:
-                self.step()
+            while heap and heap[0][0] <= deadline:
                 steps += 1
+                when, seq, kind, payload = pop(heap)
+                self._now = when
+                if kind:
+                    if payload._entry_seq == seq:
+                        payload._entry_seq = -1
+                        arg = payload._arg
+                        if arg is no_arg:
+                            payload._fn()
+                        else:
+                            payload._fn(arg)
+                else:
+                    callbacks = payload.callbacks
+                    payload.callbacks = []
+                    payload._state = PROCESSED
+                    for cb in callbacks:
+                        cb(payload)
+                if self._crashed:
+                    self._raise_crashed()
             self._now = deadline
             return None
         finally:

@@ -133,10 +133,16 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event | None = None
         self._pid = sim._register_process(self)
-        # Bootstrap: resume once at the current time.
-        boot = Event(sim)
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        # Bootstrap: resume once at the current time.  The fast path books
+        # the wake-up on the raw-callback lane (one heap tuple, no Event);
+        # the reference path keeps the classic boot Event.  Both draw their
+        # sequence number here, so same-time ordering is identical.
+        if sim._fast:
+            sim.call_later(0.0, Process._boot, self)
+        else:
+            boot = Event(sim)
+            boot.callbacks.append(self._resume)
+            boot.succeed()
 
     @property
     def is_alive(self) -> bool:
@@ -190,6 +196,11 @@ class Process(Event):
             self._waiting_on = None
         self._step(throw=evt._value)
 
+    def _boot(self) -> None:
+        """First resume, via the callback lane (fast path only)."""
+        if self._state == PENDING:  # a process can be close()d before booting
+            self._step(send=None)
+
     def _resume(self, evt: Event) -> None:
         self._waiting_on = None
         if evt._ok:
@@ -199,51 +210,64 @@ class Process(Event):
 
     def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
         sim = self.sim
-        sim._active_process = self
-        try:
-            if throw is not None:
-                target = self.generator.throw(throw)
-            else:
-                target = self.generator.send(send)
-        except StopIteration as exc:
-            sim._active_process = None
-            sim._forget_process(self)
-            self.succeed(exc.value)
-            return
-        except BaseException as exc:
-            sim._active_process = None
-            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                raise
-            sim._forget_process(self)
-            self.fail(exc)
-            if not self.callbacks:
-                # Nobody is waiting on this process: surface the crash.
-                sim._crashed.append((self, exc))
-            return
-        finally:
+        generator = self.generator
+        while True:
+            sim._active_process = self
+            try:
+                if throw is not None:
+                    target = generator.throw(throw)
+                else:
+                    target = generator.send(send)
+            except StopIteration as exc:
+                sim._active_process = None
+                sim._forget_process(self)
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                sim._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                sim._forget_process(self)
+                self.fail(exc)
+                if not self.callbacks:
+                    # Nobody is waiting on this process: surface the crash.
+                    sim._crashed.append((self, exc))
+                return
             sim._active_process = None
 
-        if not isinstance(target, Event):
-            err = TypeError(
-                f"process {self.name!r} yielded {target!r}; processes must "
-                "yield Event instances (Timeout, Event, Process, ...)"
-            )
-            self._step(throw=err)
-            return
-        if target.processed:
-            # Already fired: resume immediately at the current time.
-            follow = Event(self.sim)
+            if not isinstance(target, Event):
+                send = None
+                throw = TypeError(
+                    f"process {self.name!r} yielded {target!r}; processes must "
+                    "yield Event instances (Timeout, Event, Process, ...)"
+                )
+                continue
+            if target._state != PROCESSED:
+                self._waiting_on = target
+                target.callbacks.append(self._resume)
+                return
+            # Target already fired.  Fast path: feed its outcome straight
+            # back into the generator — no follow Event, no reschedule, no
+            # extra dispatch.  A failure is thrown in, so an uncaught one
+            # lands in the except branch above and gets full fail()/crash
+            # accounting.
+            if sim._fast:
+                if target._ok:
+                    send, throw = target._value, None
+                else:
+                    send, throw = None, target._value
+                continue
+            # Reference path: resume via a zero-delay follow event.  The
+            # failure side goes through fail() proper (not hand-set state),
+            # so the resulting throw carries the same semantics as any
+            # failed event and crash accounting cannot be skipped.
+            follow = Event(sim)
             follow.callbacks.append(self._resume)
             if target._ok:
                 follow.succeed(target._value)
             else:
-                follow._ok = False
-                follow._value = target._value
-                follow._state = TRIGGERED
-                self.sim._schedule(follow, delay=0.0)
-        else:
-            self._waiting_on = target
-            target.callbacks.append(self._resume)
+                follow.fail(target._value)
+            return
 
 
 def in_list_remove(lst: list, item: Any) -> bool:
