@@ -26,6 +26,7 @@ _TX_PACKETS = METRICS.counter("link.tx_packets")
 _TX_BYTES = METRICS.counter("link.tx_bytes")
 _LOST = METRICS.counter("link.lost_packets")
 _QUEUE_DROPS = METRICS.counter("link.queue_drops")
+_ECN_MARKS = METRICS.counter("link.ecn_marks")
 
 #: Opt-in wire sanitizer taps.  Each callable observes every packet as it
 #: enters a link queue (before any drop decision) and raises on a protocol
@@ -57,6 +58,8 @@ class LinkEndpoint:
         queue_packets: int,
         loss_rate: float = 0.0,
         loss_rng=None,
+        ecn_threshold: int | None = None,
+        loss_burst: int = 1,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -66,11 +69,28 @@ class LinkEndpoint:
             raise ValueError("loss rate must be in [0, 1)")
         if loss_rate > 0.0 and loss_rng is None:
             raise ValueError("loss_rate needs a loss_rng stream")
+        if ecn_threshold is not None and ecn_threshold <= 0:
+            raise ValueError("ecn_threshold must be positive")
+        if loss_burst < 1:
+            raise ValueError("loss_burst must be >= 1")
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.delay_s = delay_s
+        #: ``loss_rate`` is the *average* packet-loss rate.  With
+        #: ``loss_burst > 1`` losses arrive in runs of that length (as
+        #: drop-tail queues actually lose packets); the trigger probability
+        #: is scaled by ``1/loss_burst`` so the average rate stays put.
         self.loss_rate = loss_rate
         self.loss_rng = loss_rng
+        self.loss_burst = loss_burst
+        self._loss_run = 0
+        #: RED-style deterministic marking: a packet enqueued while the
+        #: egress queue already holds >= ``ecn_threshold`` packets gets its
+        #: CE (congestion experienced) bit set instead of waiting for a
+        #: drop-tail loss.  Carried as ``packet.meta["ce"]`` (a simulation
+        #: annotation, like a real router rewriting the ECN codepoint).
+        self.ecn_threshold = ecn_threshold
+        self.ecn_marks = 0
         self.queue = Queue(sim, capacity=queue_packets)
         self.peer: "Interface | None" = None
         self.tx_packets = 0
@@ -114,6 +134,11 @@ class LinkEndpoint:
                     self.queue.dropped += 1
                     ok = False
                 else:
+                    if (
+                        self.ecn_threshold is not None
+                        and len(items) >= self.ecn_threshold
+                    ):
+                        self._mark_ce(packet)
                     items.append(packet)
                     ok = True
             else:
@@ -124,6 +149,12 @@ class LinkEndpoint:
                 self._start_tx(packet)
                 ok = True
         else:
+            if (
+                self.ecn_threshold is not None
+                and len(self.queue) >= self.ecn_threshold
+                and not self.queue.is_full
+            ):
+                self._mark_ce(packet)
             ok = self.queue.try_put(packet)
         if not ok:
             _QUEUE_DROPS.inc()
@@ -132,6 +163,23 @@ class LinkEndpoint:
                     self.sim.now, "link", "queue_drop", bytes=packet.size_bytes,
                 )
         return ok
+
+    def _lose(self) -> bool:
+        """Loss decision for one transmitted packet (only called when lossy)."""
+        if self._loss_run:
+            self._loss_run -= 1
+            return True
+        if self.loss_rng.random() < self.loss_rate / self.loss_burst:
+            self._loss_run = self.loss_burst - 1
+            return True
+        return False
+
+    def _mark_ce(self, packet: "Packet") -> None:
+        packet.meta["ce"] = True
+        self.ecn_marks += 1
+        _ECN_MARKS.inc()
+        if RECORDER.enabled:
+            RECORDER.record(self.sim.now, "link", "ecn_mark")
 
     # -- fast path: callback-lane serializer ----------------------------------
     def _start_tx(self, packet: "Packet") -> None:
@@ -168,7 +216,7 @@ class LinkEndpoint:
         self._unflushed_bytes += size
         if RECORDER.enabled:
             RECORDER.record(self.sim.now, "link", "tx", bytes=size)
-        if self.loss_rate and self.loss_rng.random() < self.loss_rate:
+        if self.loss_rate and self._lose():
             self.lost_packets += 1
             _LOST.inc()
             if RECORDER.enabled:
@@ -236,7 +284,7 @@ class LinkEndpoint:
             _TX_BYTES.value += size
             if RECORDER.enabled:
                 RECORDER.record(self.sim.now, "link", "tx", bytes=size)
-            if self.loss_rate and self.loss_rng.random() < self.loss_rate:
+            if self.loss_rate and self._lose():
                 self.lost_packets += 1
                 _LOST.inc()
                 if RECORDER.enabled:
@@ -268,11 +316,15 @@ class Link:
         loss_rate: float = 0.0,
         loss_rng=None,
         name: str = "",
+        ecn_threshold: int | None = None,
+        loss_burst: int = 1,
     ) -> None:
         self.sim = sim
         self.name = name
-        self.a_to_b = LinkEndpoint(sim, bandwidth_bps, delay_s, queue_packets, loss_rate, loss_rng)
-        self.b_to_a = LinkEndpoint(sim, bandwidth_bps, delay_s, queue_packets, loss_rate, loss_rng)
+        self.a_to_b = LinkEndpoint(sim, bandwidth_bps, delay_s, queue_packets,
+                                   loss_rate, loss_rng, ecn_threshold, loss_burst)
+        self.b_to_a = LinkEndpoint(sim, bandwidth_bps, delay_s, queue_packets,
+                                   loss_rate, loss_rng, ecn_threshold, loss_burst)
 
     def connect(self, iface_a: "Interface", iface_b: "Interface") -> None:
         """Wire the two interfaces to each other through this link."""

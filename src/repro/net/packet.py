@@ -86,12 +86,21 @@ class TCPHeader(Header):
     dst_port: int
     seq: int = 0
     ack: int = 0
-    flags: frozenset[str] = frozenset()  # subset of {"SYN","ACK","FIN","RST"}
+    flags: frozenset[str] = frozenset()  # subset of {"SYN","ACK","FIN","RST","ECE","CWR"}
     window: int = 65535
+    #: RFC 2018 SACK option: ``((start, end), ...)`` half-open received
+    #: ranges above the cumulative ACK.  Empty for in-order traffic, so the
+    #: common-case wire size is unchanged.
+    sack: tuple = ()
 
     @property
     def header_len(self) -> int:
-        return 20
+        if not self.sack:
+            return 20
+        # SACK option: kind(1) + length(1) + 8 bytes per block, padded to a
+        # 4-byte boundary as TCP options are on the wire.
+        opt = 2 + 8 * len(self.sack)
+        return 20 + (opt + 3) // 4 * 4
 
     def has(self, flag: str) -> bool:
         return flag in self.flags

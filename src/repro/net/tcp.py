@@ -1,15 +1,30 @@
-"""Simplified TCP with Reno congestion control.
+"""Simplified TCP with NewReno + SACK loss recovery.
 
 Implements the behaviourally-relevant subset for the paper's experiments:
 
-* three-way handshake, FIN teardown, RST on unknown connections;
+* three-way handshake, FIN teardown, RFC 793 reset generation for segments
+  arriving at closed ports;
 * byte-stream transfer with MSS segmentation, cumulative ACKs, out-of-order
-  reassembly;
-* Reno congestion control: slow start, congestion avoidance, fast
-  retransmit on three duplicate ACKs, RTO with Jacobson/Karels estimation
-  and exponential backoff;
+  reassembly with overlap trimming;
+* NewReno congestion control (RFC 6582): slow start, congestion avoidance,
+  fast retransmit on three duplicate ACKs, a real fast-recovery state with
+  cwnd inflation/deflation and partial-ACK retransmission, RTO with
+  Jacobson/Karels estimation and exponential backoff;
+* SACK (RFC 2018): receivers advertise out-of-order ranges as
+  :class:`~repro.net.packet.TCPHeader` option blocks; the sender keeps a
+  scoreboard and retransmits only un-SACKed holes during recovery;
+* ECN (RFC 3168 subset): links can CE-mark instead of dropping
+  (``Link(ecn_threshold=...)``); receivers echo ``ECE`` until the sender
+  acknowledges the window reduction with ``CWR``;
 * receiver flow control with a configurable advertised window — the iperf
-  experiment sets the paper's 85.3 KB / 16 KB windows explicitly.
+  experiment sets the paper's 85.3 KB / 16 KB windows explicitly — plus a
+  zero-window persist timer that probes a closed window so a lost window
+  update cannot deadlock the connection;
+* optional callback-lane pacing (``pacing=True``): segments leave at
+  ``cwnd/srtt`` instead of in back-to-back window bursts.
+
+``cc="reno"`` selects the legacy Reno machine (no SACK, no recovery state)
+— retained as the baseline for ``benchmarks/bench_tcp.py``.
 
 Segments carry either real bytes (all unit tests, HTTP control traffic) or
 :class:`~repro.net.packet.VirtualPayload` sizes (bulk benchmarks), and the
@@ -36,6 +51,9 @@ _RETRANSMITS = METRICS.counter("tcp.segments_retransmitted")
 _CONNECTS = METRICS.counter("tcp.connects")
 _ACCEPTS = METRICS.counter("tcp.accepts")
 _FAILURES = METRICS.counter("tcp.connection_failures")
+_FAST_RECOVERIES = METRICS.counter("tcp.fast_recoveries")
+_ECN_REDUCTIONS = METRICS.counter("tcp.ecn_reductions")
+_ZW_PROBES = METRICS.counter("tcp.zero_window_probes")
 _RTT = METRICS.histogram("tcp.rtt_s")
 
 DEFAULT_MSS = 1448  # bytes of payload per segment (Ethernet MTU - headers)
@@ -43,12 +61,21 @@ DEFAULT_WINDOW = 65535
 MIN_RTO = 0.2
 MAX_RTO = 60.0
 DELACK_TIMEOUT = 0.04
+PERSIST_MIN = 0.5  # zero-window probe interval bounds (RFC 1122 §4.2.2.17)
+PERSIST_MAX = 60.0
+SACK_MAX_BLOCKS = 3  # blocks per ACK, as a timestamped real header would fit
 
 #: Shared flag set for the overwhelmingly common case (data segments and
 #: pure ACKs) — the fast path reuses it instead of allocating a fresh
 #: ``frozenset`` per segment.
 _ACK_FLAGS = frozenset({"ACK"})
 _NO_FLAGS: frozenset[str] = frozenset()
+_ECE_FLAGS = frozenset({"ECE"})
+_CWR_FLAGS = frozenset({"CWR"})
+_RST_FLAGS = frozenset({"RST"})
+_RST_ACK_FLAGS = frozenset({"RST", "ACK"})
+_FIN_FLAGS = frozenset({"FIN"})
+_EMPTY_SACK: tuple = ()
 
 #: Free list for inflight-segment metadata dicts.  Every data segment
 #: allocates one of these and the ACK path pops it a round-trip later; the
@@ -88,7 +115,11 @@ class TcpConnection:
         remote_port: int,
         mss: int = DEFAULT_MSS,
         recv_window: int = DEFAULT_WINDOW,
+        cc: str = "newreno",
+        pacing: bool = False,
     ) -> None:
+        if cc not in ("newreno", "reno"):
+            raise ValueError(f"unknown congestion control {cc!r}")
         self.stack = stack
         self.node = stack.node
         self.sim = stack.node.sim
@@ -117,6 +148,31 @@ class TcpConnection:
         self._timer_gen = 0
         self._rto_timer = None  # TimerHandle (fast path); rearmed in place
         self._delack_handle = None  # TimerHandle (fast path); rearmed in place
+        # NewReno fast-recovery state (RFC 6582) + SACK scoreboard (RFC 2018).
+        self.cc = cc
+        self.sack_enabled = cc == "newreno"
+        self.in_recovery = False
+        self.recover = 0  # snd_nxt when loss was detected; full ACKs pass it
+        self._sacked: list[list[int]] = []  # merged [start, end) peer-SACKed ranges
+        self._high_rtx = 0  # end of the highest hole retransmitted this recovery
+        self.fast_recoveries = 0
+        # ECN (sender reacts to ECE once per window; receiver echoes CE).
+        self._ecn_echo = False
+        self._cwr_pending = False
+        self._ecn_recover = 0
+        self.ecn_reductions = 0
+        # Zero-window persist (probe a closed peer window, RFC 1122).
+        self._persist_armed = False
+        self._persist_timer = None  # TimerHandle (fast path)
+        self._persist_gen = 0
+        self._persist_backoff = PERSIST_MIN
+        self.zero_window_probes = 0
+        # Pacing: spread segments at cwnd/srtt through the callback lane
+        # instead of bursting the whole window per ACK.
+        self.pacing = pacing
+        self._pace_armed = False
+        self._pace_timer = None  # TimerHandle (fast path)
+        self._pace_gen = 0
         # Fast path: bulk senders cut identical VirtualPayload slices (one
         # MSS each) for thousands of segments in a row; VirtualPayload is
         # immutable, so one shared instance per (size, tag) is safe.
@@ -147,6 +203,7 @@ class TcpConnection:
         self.bytes_received = 0
         self.segments_sent = 0
         self.segments_retransmitted = 0
+        self.rtos = 0
 
     # -- public API ------------------------------------------------------------
     @property
@@ -258,6 +315,11 @@ class TcpConnection:
             eff_flags = _ACK_FLAGS  # shared set, no per-segment allocation
         else:
             eff_flags = flags | frozenset({"ACK"})  # reference path, as before
+        if self._ecn_echo:
+            eff_flags = eff_flags | _ECE_FLAGS
+        if self._cwr_pending:
+            eff_flags = eff_flags | _CWR_FLAGS
+            self._cwr_pending = False
         if self._fast:
             # ``_rx_backlog()`` is a constant 0 — skip the call per segment.
             window = self.recv_window
@@ -270,6 +332,7 @@ class TcpConnection:
             self.rcv_nxt,
             eff_flags,
             window,
+            self._sack_blocks() if (self.sack_enabled and self.ooo) else _EMPTY_SACK,
         )
         if self._fast:
             self.node.send_ip_fast(
@@ -312,7 +375,25 @@ class TcpConnection:
 
     def _pump(self) -> None:
         """Send as much queued data as the congestion/flow windows allow."""
-        window = min(self.cwnd, self.peer_window or self.mss)
+        if self.peer_window == 0:
+            # Honor a closed peer window (the old code treated 0 as one MSS
+            # and kept transmitting).  If data or a FIN is pending, arm the
+            # persist timer so a lost window update cannot deadlock us.
+            if (
+                not self._persist_armed
+                and self.state in ("ESTABLISHED", "FIN_WAIT")
+                and (self.snd_buf_end > self.snd_nxt or self._fin_queued)
+            ):
+                self._persist_start()
+            return
+        if self.pacing and self.srtt is not None and self.state == "ESTABLISHED":
+            # Paced mode: release one segment per timer firing at cwnd/srtt
+            # instead of bursting the whole window.  Until the first RTT
+            # sample exists there is no rate to pace at — fall through and
+            # burst (slow-start's first flight).
+            self._pump_paced()
+            return
+        window = min(self.cwnd, self.peer_window)
         while True:
             available = self.snd_buf_end - self.snd_nxt
             in_flight = self.snd_nxt - self.snd_una
@@ -361,6 +442,160 @@ class TcpConnection:
                     return vp
                 return _slice_payload(chunk, seq - start, take)
         raise TcpError(f"send buffer does not cover seq {seq}")
+
+    # -- zero-window persist (RFC 1122 §4.2.2.17) --------------------------------------
+    def _persist_start(self) -> None:
+        self._persist_armed = True
+        self._persist_backoff = max(min(self.rto, PERSIST_MAX), PERSIST_MIN)
+        self._persist_rearm(self._persist_backoff)
+
+    def _persist_rearm(self, delay: float) -> None:
+        if self._fast:
+            handle = self._persist_timer
+            if handle is None:
+                self._persist_timer = self.sim.call_later(
+                    delay, TcpConnection._persist_fired, self
+                )
+            else:
+                handle.rearm(delay)
+            return
+        self._persist_gen += 1
+        self.sim.process(
+            self._persist_proc(self._persist_gen, delay),
+            name=f"tcp-persist-{self.local_port}",
+        )
+
+    def _persist_proc(self, gen: int, delay: float) -> Generator:
+        yield self.sim.timeout(delay)
+        if gen != self._persist_gen:
+            return
+        self._persist_fired()
+
+    def _persist_fired(self) -> None:
+        if not self._persist_armed or self.state == "CLOSED":
+            return
+        if self.peer_window > 0:
+            # Window reopened between firings (the reopen normally cancels
+            # the timer from _on_segment; this covers a race with teardown).
+            self._persist_stop()
+            self._pump()
+            return
+        # Probe: one byte of new data past the window edge.  The probe is a
+        # real segment (registered in flight) — the elicited ACK carries the
+        # peer's current window, and if the window opened the byte is simply
+        # the first byte of the resumed stream.
+        if self.snd_buf_end > self.snd_nxt:
+            payload = self._gather(self.snd_nxt, 1)
+            seq = self.snd_nxt
+            self.snd_nxt += len(payload)
+            self.bytes_sent += len(payload)
+            self.zero_window_probes += 1
+            _ZW_PROBES.inc()
+            if RECORDER.enabled:
+                RECORDER.record(
+                    self.sim.now, "tcp", "zero_window_probe",
+                    node=self.node.name, seq=seq,
+                )
+            self._send_segment(_NO_FLAGS, seq, payload, True)
+            self._arm_timer()
+        elif self._fin_queued and self._fin_seq is not None and self.snd_nxt == self._fin_seq:
+            # No data left — probe with the FIN itself.
+            self.state = "FIN_WAIT"
+            seq = self.snd_nxt
+            self.snd_nxt += 1
+            self.zero_window_probes += 1
+            _ZW_PROBES.inc()
+            self._send_segment(flags=_FIN_FLAGS, seq=seq, register_inflight=True)
+            self._arm_timer()
+        else:
+            self._persist_stop()
+            return
+        self._persist_backoff = min(self._persist_backoff * 2, PERSIST_MAX)
+        self._persist_rearm(self._persist_backoff)
+
+    def _persist_stop(self) -> None:
+        if not self._persist_armed:
+            return
+        self._persist_armed = False
+        self._persist_gen += 1  # invalidates reference-path processes
+        self._persist_backoff = PERSIST_MIN
+        if self._persist_timer is not None:
+            self._persist_timer.cancel()
+
+    # -- paced transmission ------------------------------------------------------------
+    def _pace_interval(self) -> float:
+        # One segment every srtt/(cwnd/mss): the window spread over an RTT.
+        return self.srtt * self.mss / max(self.cwnd, self.mss)
+
+    def _pump_paced(self) -> None:
+        if self._pace_armed:
+            return  # timer already draining the buffer
+        self._pace_send_one()
+
+    def _pace_send_one(self) -> None:
+        """Send at most one segment, then rearm the pacing timer if more remain."""
+        self._pace_armed = False
+        if self.state not in ("ESTABLISHED", "FIN_WAIT") or self.peer_window == 0:
+            if self.peer_window == 0:
+                self._pump()  # route through the persist logic
+            return
+        window = min(self.cwnd, self.peer_window)
+        available = self.snd_buf_end - self.snd_nxt
+        in_flight = self.snd_nxt - self.snd_una
+        room = window - in_flight
+        if available > 0 and room > 0:
+            want = min(self.mss, available, room)
+            payload = self._gather(self.snd_nxt, want)
+            seg_len = len(payload)
+            seq = self.snd_nxt
+            self.snd_nxt += seg_len
+            self.bytes_sent += seg_len
+            self._send_segment(_NO_FLAGS, seq, payload, True)
+            self._arm_timer()
+            if self.snd_buf_end > self.snd_nxt:
+                self._pace_armed = True
+                self._pace_rearm(self._pace_interval())
+            return
+        if (
+            self._fin_queued
+            and self._fin_seq is not None
+            and self.snd_nxt == self._fin_seq
+            and available == 0
+            and self.state == "ESTABLISHED"
+        ):
+            self.state = "FIN_WAIT"
+            seq = self.snd_nxt
+            self.snd_nxt += 1
+            self._send_segment(flags=_FIN_FLAGS, seq=seq, register_inflight=True)
+            self._arm_timer()
+
+    def _pace_rearm(self, delay: float) -> None:
+        if self._fast:
+            handle = self._pace_timer
+            if handle is None:
+                self._pace_timer = self.sim.call_later(
+                    delay, TcpConnection._pace_fired, self
+                )
+            else:
+                handle.rearm(delay)
+            return
+        self._pace_gen += 1
+        self.sim.process(
+            self._pace_proc(self._pace_gen, delay),
+            name=f"tcp-pace-{self.local_port}",
+        )
+
+    def _pace_proc(self, gen: int, delay: float) -> Generator:
+        yield self.sim.timeout(delay)
+        if gen != self._pace_gen:
+            return
+        self._pace_fired()
+
+    def _pace_fired(self) -> None:
+        if not self._pace_armed or self.state == "CLOSED":
+            self._pace_armed = False
+            return
+        self._pace_send_one()
 
     # -- timers -----------------------------------------------------------------------
     def _arm_timer(self) -> None:
@@ -430,7 +665,14 @@ class TcpConnection:
         self.ssthresh = max(flight // 2, 2 * self.mss)
         self.cwnd = self.mss
         self.dup_acks = 0
+        # Timeout aborts any fast recovery and discards the SACK scoreboard
+        # (RFC 2018 §8: the receiver may renege on SACKed data).
+        self.in_recovery = False
+        self._high_rtx = 0
+        if self._sacked:
+            self._sacked.clear()
         self.rto = min(self.rto * 2, MAX_RTO)
+        self.rtos += 1
         self.segments_retransmitted += 1
         _RETRANSMITS.inc()
         if RECORDER.enabled:
@@ -444,13 +686,17 @@ class TcpConnection:
         self._arm_timer()
 
     # -- inbound segment processing ------------------------------------------------------
-    def _on_segment(self, tcp: TCPHeader, payload: Payload) -> None:
+    def _on_segment(self, tcp: TCPHeader, payload: Payload, ce: bool = False) -> None:
         if self.state == "CLOSED":
             return
         flags = tcp.flags  # bound once; this runs for every delivered segment
         if "RST" in flags:
             self._teardown(TcpError("connection reset by peer"))
             return
+        # Capture the previously-advertised window before updating: RFC 5681
+        # duplicate-ACK classification needs to know whether this segment
+        # changed it (a pure window update is not a dup ACK).
+        prev_window = self.peer_window
         self.peer_window = tcp.window
 
         if self.state == "SYN_SENT":
@@ -473,15 +719,34 @@ class TcpConnection:
             # fall through: the ACK may carry data too
 
         if "ACK" in flags:
-            self._process_ack(tcp.ack)
+            self._process_ack(tcp, payload, prev_window)
+
+        if self._persist_armed and self.peer_window > 0:
+            # Window reopened — stop probing and resume normal transmission.
+            self._persist_stop()
+            if self.state in ("ESTABLISHED", "FIN_WAIT"):
+                self._pump()
+
+        # ECN echo state (RFC 3168 subset): CWR from the peer means our ECE
+        # was heard — clear it first, so a CE mark on this very segment
+        # re-raises the echo for the *next* window.
+        if "CWR" in flags:
+            self._ecn_echo = False
+        if ce:
+            self._ecn_echo = True
 
         fin = "FIN" in flags
         if fin or len(payload):
             self._process_data(tcp.seq, payload, fin)
 
-    def _process_ack(self, ack: int) -> None:
+    def _process_ack(self, tcp: TCPHeader, payload: Payload, prev_window: int) -> None:
+        ack = tcp.ack
         if ack > self.snd_nxt:
             return  # acks data we never sent; ignore
+        if tcp.sack and self.sack_enabled:
+            self._register_sack(tcp.sack)
+        if "ECE" in tcp.flags:
+            self._on_ece()
         if ack > self.snd_una:
             acked = ack - self.snd_una
             self.snd_una = ack
@@ -495,8 +760,24 @@ class TcpConnection:
                 if entry["retx"] == 0:
                     self._update_rtt(self.sim.now - entry["sent_at"])
                 _seg_release(entry)
-            # Congestion window growth.
-            if self.cwnd < self.ssthresh:
+            if self._sacked:
+                self._drop_sacked_below(ack)
+            if self.in_recovery:
+                # RFC 6582: full vs partial acknowledgment.  ``recover`` was
+                # ``snd_nxt`` at recovery entry, so ``ack == recover`` already
+                # covers the whole epoch — only a *smaller* ACK is partial.
+                if ack >= self.recover or ack >= self.snd_nxt:
+                    # Full ACK — deflate to ssthresh and leave recovery.
+                    self.in_recovery = False
+                    self._high_rtx = 0
+                    flight = max(self.snd_nxt - self.snd_una, self.mss)
+                    self.cwnd = min(self.ssthresh, flight + self.mss)
+                else:
+                    # Partial ACK — the next hole is lost too: retransmit it
+                    # immediately and deflate by the amount acknowledged.
+                    self._partial_retransmit(ack)
+                    self.cwnd = max(self.cwnd - acked + self.mss, self.mss)
+            elif self.cwnd < self.ssthresh:
                 self.cwnd += min(acked, self.mss)  # slow start
             else:
                 self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # AIMD
@@ -507,28 +788,191 @@ class TcpConnection:
             else:
                 self._arm_timer()
             self._pump()
-        elif ack == self.snd_una and self.snd_una < self.snd_nxt:
+        elif (
+            ack == self.snd_una
+            and self.snd_una < self.snd_nxt
+            and len(payload) == 0
+            and tcp.window == prev_window
+            and "SYN" not in tcp.flags
+            and "FIN" not in tcp.flags
+        ):
+            # A true duplicate ACK per RFC 5681 §2: no data, no window
+            # change, nothing new acknowledged, data still outstanding.
+            # (The old code counted *any* ack == snd_una — the peer's data
+            # segments in a bidirectional transfer triggered spurious fast
+            # retransmits.)
             self.dup_acks += 1
-            if self.dup_acks == 3 and self.inflight:
-                # Fast retransmit.
-                entry = self.inflight[0]
-                entry["retx"] += 1
-                flight = max(self.snd_nxt - self.snd_una, self.mss)
-                self.ssthresh = max(flight // 2, 2 * self.mss)
-                self.cwnd = self.ssthresh
-                self.segments_retransmitted += 1
-                _RETRANSMITS.inc()
-                if RECORDER.enabled:
-                    RECORDER.record(
-                        self.sim.now, "tcp", "retransmit",
-                        node=self.node.name, kind="fast", seq=entry["seq"],
-                    )
-                self._send_segment(
-                    flags=entry.get("flags", frozenset()),
-                    seq=entry["seq"],
-                    payload=entry.get("payload", b""),
-                )
-                self._arm_timer()
+            if self.cc == "reno":
+                # Legacy baseline: halve on the 3rd dup ACK, no recovery
+                # state, no cwnd inflation (benchmarks compare against this).
+                if self.dup_acks == 3 and self.inflight:
+                    entry = self.inflight[0]
+                    flight = max(self.snd_nxt - self.snd_una, self.mss)
+                    self.ssthresh = max(flight // 2, 2 * self.mss)
+                    self.cwnd = self.ssthresh
+                    self._retransmit_entry(entry, "fast")
+                    self._arm_timer()
+                return
+            if not self.in_recovery:
+                if self.dup_acks == 3 and self.inflight:
+                    self._enter_recovery()
+            else:
+                # Each further dup ACK means another segment left the
+                # network — inflate cwnd and try to fill known SACK holes.
+                self.cwnd += self.mss
+                if self._sacked:
+                    self._sack_retransmit()
+                self._pump()
+
+    # -- NewReno fast recovery (RFC 6582) ----------------------------------------------
+    def _enter_recovery(self) -> None:
+        self.recover = self.snd_nxt
+        flight = max(self.snd_nxt - self.snd_una, self.mss)
+        self.ssthresh = max(flight // 2, 2 * self.mss)
+        self.in_recovery = True
+        self._high_rtx = self.snd_una
+        self.fast_recoveries += 1
+        _FAST_RECOVERIES.inc()
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "fast_recovery",
+                node=self.node.name, recover=self.recover,
+            )
+        self._retransmit_entry(self.inflight[0], "fast")
+        # Inflate by the three dup ACKs that signalled the loss.
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self._arm_timer()
+
+    def _partial_retransmit(self, ack: int) -> None:
+        """Retransmit the first unacked, un-SACKed segment after a partial ACK."""
+        for entry in self.inflight:
+            seq = entry["seq"]
+            if seq < ack:
+                continue
+            if self._sack_covered(seq, seq + entry["len"]):
+                continue
+            self._retransmit_entry(entry, "partial")
+            self._arm_timer()
+            return
+
+    def _retransmit_entry(self, entry: dict, kind: str) -> None:
+        entry["retx"] += 1
+        self.segments_retransmitted += 1
+        _RETRANSMITS.inc()
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "retransmit",
+                node=self.node.name, kind=kind, seq=entry["seq"],
+            )
+        self._send_segment(
+            flags=entry.get("flags", _NO_FLAGS),
+            seq=entry["seq"],
+            payload=entry.get("payload", b""),
+        )
+        end = entry["seq"] + entry["len"]
+        if end > self._high_rtx:
+            self._high_rtx = end
+
+    # -- SACK scoreboard (RFC 2018) ----------------------------------------------------
+    def _register_sack(self, blocks: tuple) -> None:
+        """Merge peer-reported received ranges into the sorted scoreboard."""
+        sacked = self._sacked
+        una = self.snd_una
+        for start, end in blocks:
+            if end <= una:
+                continue  # stale block below the cumulative ACK
+            if start < una:
+                start = una
+            # Insertion + merge keeping ``sacked`` sorted and disjoint.
+            merged = False
+            for rng in sacked:
+                if start <= rng[1] and end >= rng[0]:  # overlaps/abuts
+                    if start < rng[0]:
+                        rng[0] = start
+                    if end > rng[1]:
+                        rng[1] = end
+                    merged = True
+                    break
+            if not merged:
+                sacked.append([start, end])
+        if len(sacked) > 1:
+            sacked.sort()
+            # Coalesce neighbours that merging may have brought together.
+            out = [sacked[0]]
+            for rng in sacked[1:]:
+                if rng[0] <= out[-1][1]:
+                    if rng[1] > out[-1][1]:
+                        out[-1][1] = rng[1]
+                else:
+                    out.append(rng)
+            self._sacked = out
+
+    def _drop_sacked_below(self, ack: int) -> None:
+        self._sacked = [
+            rng if rng[0] >= ack else [ack, rng[1]]
+            for rng in self._sacked
+            if rng[1] > ack
+        ]
+
+    def _sack_covered(self, start: int, end: int) -> bool:
+        for s, e in self._sacked:
+            if s <= start and end <= e:
+                return True
+        return False
+
+    def _sack_retransmit(self) -> None:
+        """Fill the lowest un-SACKed hole below the highest SACKed byte.
+
+        A hole is only *known* lost once SACKed data sits above it; at most
+        one hole is filled per incoming ACK (matching the one-segment-per-ACK
+        clocking of fast recovery).
+        """
+        top = self._sacked[-1][1]  # scoreboard is sorted: highest SACKed byte
+        high_rtx = self._high_rtx
+        for entry in self.inflight:
+            seq = entry["seq"]
+            end = seq + entry["len"]
+            if end > top:
+                break  # not known-lost: no SACKed data above this hole
+            if seq < high_rtx:
+                continue  # already retransmitted this recovery
+            if self._sack_covered(seq, end):
+                continue  # peer has it
+            self._retransmit_entry(entry, "sack")
+            self._arm_timer()
+            return
+
+    # -- ECN (RFC 3168 subset) ---------------------------------------------------------
+    def _on_ece(self) -> None:
+        """Peer echoed a CE mark: reduce once per window, then signal CWR."""
+        if self.snd_una < self._ecn_recover or self.in_recovery:
+            return  # already reduced for this window (or recovering from loss)
+        flight = max(self.snd_nxt - self.snd_una, self.mss)
+        self.ssthresh = max(flight // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh
+        self._ecn_recover = self.snd_nxt
+        self._cwr_pending = True
+        self.ecn_reductions += 1
+        _ECN_REDUCTIONS.inc()
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "ecn_reduction", node=self.node.name,
+            )
+
+    def _sack_blocks(self) -> tuple:
+        """Receiver side: out-of-order ranges to advertise (ascending)."""
+        spans = sorted(
+            (seq, seq + len(p) + (1 if fin else 0))
+            for seq, (p, fin) in self.ooo.items()
+        )
+        blocks: list[tuple[int, int]] = []
+        for start, end in spans:
+            if blocks and start <= blocks[-1][1]:
+                if end > blocks[-1][1]:
+                    blocks[-1] = (blocks[-1][0], end)
+            else:
+                blocks.append((start, end))
+        return tuple(blocks[:SACK_MAX_BLOCKS])
 
     def _update_rtt(self, sample: float) -> None:
         if self.srtt is None:
@@ -544,18 +988,50 @@ class TcpConnection:
         rcv_nxt = self.rcv_nxt
         if seq > rcv_nxt:
             self.ooo[seq] = (payload, fin)
-            self._send_segment()  # dup ACK signals the gap
+            self._ack_now()  # immediate dup ACK (with SACK blocks) signals the gap
             return
         if seq + len(payload) + (1 if fin else 0) <= rcv_nxt:
             self._send_segment()  # pure duplicate; re-ACK
             return
-        # In-order (possibly with overlap, which our sender never produces).
+        # In-order, possibly overlapping data already delivered (SACK
+        # retransmits and zero-window probes produce real overlap): trim the
+        # payload to start at rcv_nxt so bytes are never double-counted.
+        if seq < rcv_nxt:
+            trim = rcv_nxt - seq
+            plen = len(payload)
+            if trim >= plen:
+                payload = b""  # only the FIN is new
+            else:
+                payload = _slice_payload(payload, trim, plen - trim)
         had_ooo = bool(self.ooo)
         self._accept_data(payload, fin)
-        # Pull any queued out-of-order continuations.
-        while self.rcv_nxt in self.ooo:
-            nxt_payload, nxt_fin = self.ooo.pop(self.rcv_nxt)
-            self._accept_data(nxt_payload, nxt_fin)
+        # Pull any queued out-of-order continuations, trimming overlaps.
+        ooo = self.ooo
+        while ooo:
+            nxt = self.rcv_nxt
+            if nxt in ooo:
+                nxt_payload, nxt_fin = ooo.pop(nxt)
+                self._accept_data(nxt_payload, nxt_fin)
+                continue
+            # No exact match: look for a stored segment straddling rcv_nxt
+            # (deterministic: dict iteration is insertion-ordered).
+            straddle = None
+            for s, (p, f) in ooo.items():
+                if s < nxt:
+                    straddle = (s, p, f)
+                    break
+            if straddle is None:
+                break
+            s, p, f = straddle
+            del ooo[s]
+            end = s + len(p) + (1 if f else 0)
+            if end <= nxt:
+                continue  # fully stale; drop
+            trim = nxt - s
+            plen = len(p)
+            self._accept_data(
+                b"" if trim >= plen else _slice_payload(p, trim, plen - trim), f
+            )
         if fin or had_ooo:
             self._ack_now()
             return
@@ -621,6 +1097,11 @@ class TcpConnection:
             return
         self.state = "CLOSED"
         self._cancel_timer()
+        self._persist_stop()
+        self._pace_armed = False
+        self._pace_gen += 1
+        if self._pace_timer is not None:
+            self._pace_timer.cancel()
         self.stack._forget(self)
         if error is not None:
             _FAILURES.inc()
@@ -646,11 +1127,19 @@ class TcpConnection:
 class TcpListener:
     """Passive socket: queue of established inbound connections."""
 
-    def __init__(self, stack: "TcpStack", port: int, recv_window: int, mss: int) -> None:
+    def __init__(
+        self,
+        stack: "TcpStack",
+        port: int,
+        recv_window: int,
+        mss: int,
+        cc: str = "newreno",
+    ) -> None:
         self.stack = stack
         self.port = port
         self.recv_window = recv_window
         self.mss = mss
+        self.cc = cc
         self.backlog = Queue(stack.node.sim, capacity=128)
 
     def accept(self):
@@ -668,6 +1157,10 @@ class TcpStack:
         self.node = node
         self._connections: dict[tuple, TcpConnection] = {}
         self._listeners: dict[int, TcpListener] = {}
+        #: Refcount of live connections per local port — the ephemeral
+        #: allocator must not hand out a port that still keys a connection
+        #: (the demux tuple would collide).
+        self._local_ports: dict[int, int] = {}
         self._next_ephemeral = 33000
         self._fast = node.sim.fast_path
         node.register_protocol("tcp", self._on_packet)
@@ -675,11 +1168,15 @@ class TcpStack:
 
     # -- API ----------------------------------------------------------------------
     def listen(
-        self, port: int, recv_window: int = DEFAULT_WINDOW, mss: int = DEFAULT_MSS
+        self,
+        port: int,
+        recv_window: int = DEFAULT_WINDOW,
+        mss: int = DEFAULT_MSS,
+        cc: str = "newreno",
     ) -> TcpListener:
         if port in self._listeners:
             raise OSError(f"TCP port {port} already listening on {self.node.name}")
-        listener = TcpListener(self, port, recv_window, mss)
+        listener = TcpListener(self, port, recv_window, mss, cc)
         self._listeners[port] = listener
         return listener
 
@@ -690,6 +1187,8 @@ class TcpStack:
         local_addr: IPAddress | None = None,
         recv_window: int = DEFAULT_WINDOW,
         mss: int = DEFAULT_MSS,
+        cc: str = "newreno",
+        pacing: bool = False,
     ) -> TcpConnection:
         """Initiate a connection; wait on ``conn.established`` to use it."""
         if local_addr is None:
@@ -699,9 +1198,10 @@ class TcpStack:
         local_port = self._alloc_ephemeral()
         conn = TcpConnection(
             self, local_addr, local_port, remote_addr, remote_port,
-            mss=mss, recv_window=recv_window,
+            mss=mss, recv_window=recv_window, cc=cc, pacing=pacing,
         )
         self._connections[self._key(local_port, remote_addr, remote_port)] = conn
+        self._local_ports[local_port] = self._local_ports.get(local_port, 0) + 1
         conn._start_connect()
         return conn
 
@@ -717,16 +1217,30 @@ class TcpStack:
         return (local_port, remote_addr.family, remote_addr.value, remote_port)
 
     def _alloc_ephemeral(self) -> int:
-        port = self._next_ephemeral
-        self._next_ephemeral += 1
-        if self._next_ephemeral > 65535:
-            self._next_ephemeral = 33000
-        return port
+        # Skip ports still held by live connections or listeners: handing a
+        # long-lived connection's port out twice would corrupt the demux key.
+        in_use = self._local_ports
+        listeners = self._listeners
+        for _ in range(65536 - 33000):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 65535:
+                self._next_ephemeral = 33000
+            if not in_use.get(port) and port not in listeners:
+                return port
+        raise TcpError("ephemeral port space exhausted")
 
     def _forget(self, conn: TcpConnection) -> None:
-        self._connections.pop(
+        removed = self._connections.pop(
             self._key(conn.local_port, conn.remote_addr, conn.remote_port), None
         )
+        if removed is not None:
+            port = conn.local_port
+            count = self._local_ports.get(port, 0) - 1
+            if count > 0:
+                self._local_ports[port] = count
+            else:
+                self._local_ports.pop(port, None)
 
     def _deliver_accept(self, conn: TcpConnection) -> None:
         listener = self._listeners.get(conn.local_port)
@@ -751,7 +1265,8 @@ class TcpStack:
         key = self._key(tcp.dst_port, ip.src, tcp.src_port)
         conn = self._connections.get(key)
         if conn is not None:
-            conn._on_segment(tcp, body_payload)
+            meta = packet.meta
+            conn._on_segment(tcp, body_payload, True if meta and meta.get("ce") else False)
             return
         if tcp.has("SYN") and not tcp.has("ACK"):
             listener = self._listeners.get(tcp.dst_port)
@@ -759,15 +1274,34 @@ class TcpStack:
                 conn = TcpConnection(
                     self, ip.dst, tcp.dst_port, ip.src, tcp.src_port,
                     mss=listener.mss, recv_window=listener.recv_window,
+                    cc=listener.cc,
                 )
                 self._connections[key] = conn
+                self._local_ports[tcp.dst_port] = (
+                    self._local_ports.get(tcp.dst_port, 0) + 1
+                )
                 conn._start_accept()
                 return
         self.rx_unmatched += 1
         if not tcp.has("RST"):
-            # Refuse with RST, as a real stack would.
-            rst = TCPHeader(
-                src_port=tcp.dst_port, dst_port=tcp.src_port,
-                seq=tcp.ack, ack=tcp.seq, flags=frozenset({"RST"}),
-            )
+            # Refuse with RST per RFC 793 §3.4 reset generation: if the
+            # offending segment carried an ACK, the reset takes its seq from
+            # that ACK; otherwise seq is 0 and the reset ACKs the segment so
+            # the peer can match it (the old code used tcp.ack even for
+            # ACK-less segments — garbage/zero seq on the wire).
+            if tcp.has("ACK"):
+                rst = TCPHeader(
+                    src_port=tcp.dst_port, dst_port=tcp.src_port,
+                    seq=tcp.ack, ack=0, flags=_RST_FLAGS,
+                )
+            else:
+                seg_len = (
+                    len(body_payload)
+                    + (1 if tcp.has("SYN") else 0)
+                    + (1 if tcp.has("FIN") else 0)
+                )
+                rst = TCPHeader(
+                    src_port=tcp.dst_port, dst_port=tcp.src_port,
+                    seq=0, ack=tcp.seq + seg_len, flags=_RST_ACK_FLAGS,
+                )
             node.send_ip(ip.src, "tcp", Packet(headers=(rst,)), src=ip.dst)

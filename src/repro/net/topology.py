@@ -22,13 +22,19 @@ def wire(
     delay_s: float = 100e-6,
     queue_packets: int = 256,
     name: str = "",
+    loss_rate: float = 0.0,
+    loss_rng=None,
+    ecn_threshold: int | None = None,
+    loss_burst: int = 1,
 ) -> tuple[Interface, Interface, Link]:
     """Create a link between two nodes, adding one interface on each.
 
     Interface names are auto-numbered ``eth0``, ``eth1``, ... per node.
     """
     link = Link(sim, bandwidth_bps=bandwidth_bps, delay_s=delay_s,
-                queue_packets=queue_packets, name=name)
+                queue_packets=queue_packets, name=name,
+                loss_rate=loss_rate, loss_rng=loss_rng,
+                ecn_threshold=ecn_threshold, loss_burst=loss_burst)
     iface_a = node_a.add_interface(f"eth{sum(i.name.startswith('eth') for i in node_a.interfaces)}")
     iface_b = node_b.add_interface(f"eth{sum(i.name.startswith('eth') for i in node_b.interfaces)}")
     if addr_a is not None:
@@ -52,6 +58,11 @@ def lan_pair(
     subnet: str = "10.0.0.0/24",
     bandwidth_bps: float = 1e9,
     delay_s: float = 100e-6,
+    queue_packets: int = 256,
+    loss_rate: float = 0.0,
+    loss_rng=None,
+    ecn_threshold: int | None = None,
+    loss_burst: int = 1,
     **node_kw,
 ) -> tuple[Node, Node]:
     """Two hosts on one subnet with routes both ways — the minimal testbed."""
@@ -65,6 +76,8 @@ def lan_pair(
         sim, node_a, node_b,
         addr_a=ipv4(base + 1), addr_b=ipv4(base + 2),
         bandwidth_bps=bandwidth_bps, delay_s=delay_s,
+        queue_packets=queue_packets, loss_rate=loss_rate, loss_rng=loss_rng,
+        ecn_threshold=ecn_threshold, loss_burst=loss_burst,
     )
     node_a.routes.add(net, iface_a)
     node_b.routes.add(net, iface_b)

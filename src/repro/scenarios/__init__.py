@@ -4,6 +4,9 @@
 → load balancer → web tier → database, in a public or private IaaS cloud)
 under any of the three security scenarios; :mod:`~repro.scenarios.experiments`
 runs each of the paper's measurements on top of it.
+:mod:`~repro.scenarios.congestion` extends the evaluation into the contended
+regimes the paper never measured: lossy links, bufferbloat, tenant fairness
+and a security-mode loss sweep.
 """
 
 from repro.scenarios.rubis_cloud import RubisDeployment, build_rubis_cloud
@@ -12,11 +15,25 @@ from repro.scenarios.experiments import (
     run_fig3,
     run_httperf_point,
 )
+from repro.scenarios.congestion import (
+    jain_index,
+    run_bufferbloat,
+    run_fairness,
+    run_loss_sweep,
+    run_lossy_link,
+    run_matrix,
+)
 
 __all__ = [
     "RubisDeployment",
     "build_rubis_cloud",
+    "jain_index",
+    "run_bufferbloat",
+    "run_fairness",
     "run_fig2_point",
     "run_fig3",
     "run_httperf_point",
+    "run_loss_sweep",
+    "run_lossy_link",
+    "run_matrix",
 ]

@@ -408,3 +408,181 @@ class TestCongestionAndFlow:
         sim.process(client())
         sim.run(until=30)
         assert max(sizes) <= 500
+
+
+class TestRegressionBugfixes:
+    """Failing-before/passing-after tests for the Reno-era latent bugs."""
+
+    def test_bidirectional_transfer_no_spurious_retransmits(self, stacks):
+        """The peer's data segments repeat ``ack == snd_una`` while our own
+        data is in flight; the old dup-ACK classification counted them and
+        fired spurious fast retransmits on a loss-free link."""
+        sim, ta, tb = stacks
+        conns = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            conns["b"] = conn
+            conn.write(VirtualPayload(500_000))
+            yield from conn.recv_bytes(500_000)
+
+        def client():
+            conn = yield sim.process(ta.open_connection(B, 80))
+            conns["a"] = conn
+            conn.write(VirtualPayload(500_000))
+            yield from conn.recv_bytes(500_000)
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=60)
+        for conn in conns.values():
+            assert conn.segments_retransmitted == 0
+            assert conn.fast_recoveries == 0
+
+    def test_ephemeral_wrap_skips_port_in_use(self, stacks):
+        sim, ta, tb = stacks
+        tb.listen(80)
+        first = ta.connect(B, 80)
+        sim.run(until=1)
+        assert first.state == "ESTABLISHED"
+        # Force the allocator to wrap straight onto the live port.
+        ta._next_ephemeral = first.local_port
+        second = ta.connect(B, 80)
+        assert second.local_port != first.local_port
+        # The original connection's demux entry must be intact.
+        key = ta._key(first.local_port, B, 80)
+        assert ta._connections[key] is first
+
+    def test_ephemeral_exhaustion_raises(self, stacks):
+        _sim, ta, _tb = stacks
+        ta._local_ports = {p: 1 for p in range(33000, 65536)}
+        with pytest.raises(TcpError, match="exhausted"):
+            ta._alloc_ephemeral()
+
+    def test_port_released_after_close(self, stacks):
+        sim, ta, tb = stacks
+
+        def server():
+            listener = tb.listen(80)
+            sconn = yield listener.accept()
+            sconn.close()
+
+        sim.process(server())
+        conn = ta.connect(B, 80)
+        sim.run(until=1)
+        port = conn.local_port
+        assert ta._local_ports.get(port) == 1
+        conn.close()
+        sim.run(until=5)
+        assert conn.state == "CLOSED"
+        assert port not in ta._local_ports
+
+    def _rst_probe(self, sim, flags, seq=0, ack=0, payload=b""):
+        """Send a crafted segment at a closed port; return the RST reply."""
+        from repro.net.addresses import prefix
+        from repro.net.packet import Packet, TCPHeader
+
+        a = Node(sim, "a")
+        b = Node(sim, "b")
+        link = Link(sim, bandwidth_bps=1e9, delay_s=1e-3)
+        ia = a.add_interface("eth0", A)
+        ib = b.add_interface("eth0", B)
+        link.connect(ia, ib)
+        a.routes.add(prefix("10.0.0.0/24"), ia)
+        b.routes.add(prefix("10.0.0.0/24"), ib)
+        TcpStack(a)  # closed-port stack that must emit the RST
+        replies = []
+        b.register_protocol(
+            "tcp", lambda n, p, i: replies.append(p.find(TCPHeader))
+        )
+        hdr = TCPHeader(src_port=5555, dst_port=9999, seq=seq, ack=ack,
+                        flags=frozenset(flags))
+        b.send_ip(A, "tcp", Packet(headers=(hdr,), payload=payload), src=B)
+        sim.run(until=1)
+        assert len(replies) == 1
+        return replies[0]
+
+    def test_rst_to_ack_segment_uses_its_ack_as_seq(self, sim):
+        rst = self._rst_probe(sim, {"ACK"}, seq=42, ack=777)
+        assert rst.flags == frozenset({"RST"})
+        assert rst.seq == 777  # RFC 793: seq taken from the offending ACK
+        assert rst.ack == 0
+
+    def test_rst_to_ackless_segment_acks_it_from_seq_zero(self, sim):
+        """Old code used tcp.ack (garbage 0) as the RST seq even when the
+        segment carried no ACK; RFC 793 wants seq=0, ack=seq+len, ACK set."""
+        rst = self._rst_probe(sim, set(), seq=100, payload=b"hello")
+        assert rst.flags == frozenset({"RST", "ACK"})
+        assert rst.seq == 0
+        assert rst.ack == 105  # seq + payload length
+
+    def test_rst_to_ackless_fin_counts_the_fin(self, sim):
+        rst = self._rst_probe(sim, {"FIN"}, seq=200)
+        assert rst.flags == frozenset({"RST", "ACK"})
+        assert rst.ack == 201  # FIN occupies one sequence number
+
+    def _established_receiver(self, stacks):
+        sim, ta, tb = stacks
+        tb.listen(80)
+        conn = ta.connect(B, 80)
+        sim.run(until=1)
+        assert conn.state == "ESTABLISHED"
+        return sim, conn
+
+    def _inject(self, conn, seq, payload, fin=False):
+        from repro.net.packet import TCPHeader
+
+        flags = frozenset({"ACK", "FIN"}) if fin else frozenset({"ACK"})
+        hdr = TCPHeader(src_port=80, dst_port=conn.local_port,
+                        seq=seq, ack=conn.snd_nxt, flags=flags)
+        conn._on_segment(hdr, payload)
+
+    def test_partial_overlap_trimmed_to_rcv_nxt(self, stacks):
+        """A segment straddling rcv_nxt must contribute only its new bytes;
+        the old code re-delivered the overlap, double-counting the stream."""
+        sim, conn = self._established_receiver(stacks)
+        self._inject(conn, 1, b"A" * 100)    # rcv_nxt -> 101
+        self._inject(conn, 51, b"B" * 100)   # bytes 51-100 already delivered
+        assert conn.rcv_nxt == 151
+        assert conn.bytes_received == 150    # not 200
+
+        def drain():
+            data = yield from conn.recv_bytes(150)
+            return bytes(data)
+
+        proc = sim.process(drain())
+        assert sim.run(until=proc) == b"A" * 100 + b"B" * 50
+
+    def test_fully_stale_segment_reacked_not_redelivered(self, stacks):
+        _sim, conn = self._established_receiver(stacks)
+        self._inject(conn, 1, b"A" * 100)
+        before = conn.bytes_received
+        self._inject(conn, 1, b"A" * 100)  # exact duplicate
+        self._inject(conn, 21, b"A" * 50)  # fully within delivered data
+        assert conn.bytes_received == before
+        assert conn.rcv_nxt == 101
+
+    def test_overlapping_ooo_block_trimmed_on_pull(self, stacks):
+        sim, conn = self._established_receiver(stacks)
+        self._inject(conn, 1, b"A" * 100)    # in order: rcv_nxt -> 101
+        self._inject(conn, 201, b"C" * 100)  # gap: buffered out of order
+        self._inject(conn, 101, b"B" * 150)  # fills gap, overlaps C by 50
+        assert conn.rcv_nxt == 301
+        assert conn.bytes_received == 300
+        assert not conn.ooo
+
+        def drain():
+            data = yield from conn.recv_bytes(300)
+            return bytes(data)
+
+        proc = sim.process(drain())
+        assert sim.run(until=proc) == b"A" * 100 + b"B" * 150 + b"C" * 50
+
+    def test_stale_ooo_block_dropped_on_pull(self, stacks):
+        _sim, conn = self._established_receiver(stacks)
+        self._inject(conn, 151, b"X" * 50)   # ooo block 151-201
+        self._inject(conn, 1, b"A" * 250)    # covers it entirely
+        assert conn.rcv_nxt == 251
+        assert conn.bytes_received == 250    # stale block contributed nothing
+        assert not conn.ooo

@@ -52,6 +52,67 @@ def iperf_scenario():
     sim.close()
 
 
+def lossy_iperf_scenario():
+    """Bulk transfer over a 1%-loss 50 ms-RTT link: exercises the whole
+    NewReno+SACK machine (dup-ACK classification, fast recovery, partial
+    ACKs, selective retransmission, RTO fallback) in both engine modes."""
+    from repro.apps.iperf import run_iperf
+    from repro.net.tcp import TcpStack
+    from repro.net.topology import lan_pair
+    from repro.sim import RngStreams
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    rngs = RngStreams(2024)
+    node_a, node_b = lan_pair(
+        sim, bandwidth_bps=20e6, delay_s=0.025,
+        loss_rate=0.01, loss_rng=rngs.stream("loss"),
+    )
+    tcp_a, tcp_b = TcpStack(node_a), TcpStack(node_b)
+
+    def main():
+        result = yield from run_iperf(tcp_b, tcp_a, node_b.addresses()[0], 500_000)
+        assert result.bytes_received == 500_000
+
+    sim.process(main())
+    sim.run(until=120)
+    sim.close()
+
+
+def paced_ecn_scenario():
+    """Paced sender through an ECN-marking bottleneck: the pacing timers and
+    CE/ECE/CWR echo must behave identically in both engine modes."""
+    from repro.net.packet import VirtualPayload
+    from repro.net.tcp import TcpStack
+    from repro.net.topology import lan_pair
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    node_a, node_b = lan_pair(
+        sim, bandwidth_bps=10e6, delay_s=0.005, ecn_threshold=8,
+    )
+    tcp_a, tcp_b = TcpStack(node_a), TcpStack(node_b)
+
+    def server():
+        listener = tcp_b.listen(5001)
+        conn = yield listener.accept()
+        total = 0
+        while total < 300_000:
+            chunk = yield conn.recv()
+            total += len(chunk)
+
+    def client():
+        conn = yield sim.process(
+            tcp_a.open_connection(node_b.addresses()[0], 5001, pacing=True)
+        )
+        conn.write(VirtualPayload(300_000))
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=60)
+    sim.close()
+
+
 def rubis_scenario():
     from repro.apps.workload import ClosedLoopClients
     from repro.scenarios.rubis_cloud import FRONTEND_PORT, build_rubis_cloud
@@ -80,6 +141,22 @@ def test_rubis_trace_digest_equal_across_modes(each_mode):
     assert runs[False].n_events == runs[True].n_events
     assert runs[False].digest == runs[True].digest
     assert runs[False].n_events > 1000
+
+
+def test_lossy_link_trace_digest_equal_across_modes(each_mode):
+    """NewReno+SACK recovery under 1% loss is engine-mode independent."""
+    runs = each_mode(lossy_iperf_scenario)
+    assert runs[False].n_events == runs[True].n_events
+    assert runs[False].digest == runs[True].digest
+    assert runs[False].n_events > 1000
+
+
+def test_paced_ecn_trace_digest_equal_across_modes(each_mode):
+    """Pacing timers + ECN echo digest identically in both modes."""
+    runs = each_mode(paced_ecn_scenario)
+    assert runs[False].n_events == runs[True].n_events
+    assert runs[False].digest == runs[True].digest
+    assert runs[False].n_events > 500  # marks, reductions and tx all traced
 
 
 def test_iperf_fast_mode_replay_deterministic():
