@@ -31,6 +31,11 @@ from repro.hip.esp import derive_sa_pair
 from repro.net.addresses import ipv6
 from repro.net.packet import IPHeader, Packet, TCPHeader
 
+try:  # imported as a package (tests) or run as a script (CI / local)
+    from benchmarks._provenance import provenance
+except ImportError:  # pragma: no cover
+    from _provenance import provenance
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 PAYLOAD_BYTES = 1400
 
@@ -132,8 +137,7 @@ def run_bench(min_time: float = 1.0, e2e_packets: int = 200) -> dict:
     }
     measured = results["packet_transform_1400B"]["speedup"]
     return {
-        "generated_unix": time.time(),
-        "python": sys.version.split()[0],
+        **provenance(),
         "hmac_backend": HMAC_BACKEND,
         "payload_bytes": PAYLOAD_BYTES,
         "results": results,

@@ -1,0 +1,252 @@
+"""Scale benchmark: million-session RUBiS on the sharded + fluid substrate.
+
+The headline run partitions the scale scenario (one availability zone per
+shard, thousands of VMs) across multiprocessing shard workers under the
+conservative-lookahead barrier, with the media tier in fluid fast-forward
+mode.  The baseline is the single-shard per-packet reference: the same
+topology built monolithically with ``fluid=False``, timed over a short
+slice (running it to a million sessions would take hours — which is the
+point).  The acceptance metric is the ratio of *sessions completed per
+wall-clock second*; the sim-time session rates of the two builds agree to
+within noise, so the ratio isolates simulator speed.
+
+Before measuring, a determinism section reruns a small configuration four
+ways — inline shards, process shards, inline shards on the reference
+engine, and the monolithic twin — and insists on bit-identical boundary
+digests and per-zone results.  A fast simulator that drifts from the
+reference is worthless, so a determinism failure fails the benchmark
+regardless of speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py          # full (~30-40 min)
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick  # CI smoke (~2 min)
+
+Writes ``BENCH_scale.json`` at the repo root; exits non-zero if acceptance
+fails.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+from repro.scenarios.rubis_scale import (
+    ScaleParams,
+    build_scale_monolithic,
+    scale_builders,
+)
+from repro.sim.shard import ShardedSimulation
+
+try:  # imported as a package (tests) or run as a script (CI / local)
+    from benchmarks._provenance import provenance
+except ImportError:  # pragma: no cover
+    from _provenance import provenance
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SEED = 20120917
+
+FULL_TARGET = 4.0  # speedup floor, sharded+fluid vs single-shard packet
+QUICK_FLOOR = 1.5  # relaxed floor for the CI smoke configuration
+FULL_SESSION_FLOOR = 1_000_000
+QUICK_SESSION_FLOOR = 200
+
+#: The headline configuration: 4 zones x (32 consumers, 2 web, db, media,
+#: 520 idle multi-tenant micros on a 4x4 plant) = 2096 VMs.
+FULL_PARAMS = ScaleParams(
+    n_zones=4, n_clients=32, n_web=2, n_filler_vms=520,
+    n_racks=4, hosts_per_rack=4, media_prob=0.02, media_window=65536,
+)
+FULL_SIM_S = 470.0
+FULL_BASELINE_SIM_S = 3.0
+
+QUICK_PARAMS = ScaleParams(
+    n_zones=2, n_clients=3, n_web=2, n_filler_vms=6,
+    n_racks=1, hosts_per_rack=2, media_prob=0.1, media_window=65536,
+)
+QUICK_SIM_S = 8.0
+QUICK_BASELINE_SIM_S = 8.0
+
+#: Tiny configuration for the determinism cross-check (run four ways).
+SMOKE_PARAMS = ScaleParams(
+    n_zones=2, n_clients=2, n_web=1, n_filler_vms=2,
+    n_racks=1, hosts_per_rack=2, media_prob=0.25, media_window=65536,
+)
+SMOKE_SIM_S = 6.0
+
+_STAT_KEYS = (
+    "sessions", "api_sessions", "media_sessions", "media_bytes",
+    "fluid_bytes", "fluid_enters", "fluid_exits", "errors",
+    "heartbeats_sent", "heartbeats_recv",
+)
+
+
+def n_vms(p: ScaleParams) -> int:
+    return p.n_zones * (p.n_web + 2 + p.n_filler_vms)
+
+
+def _totals(per_zone: dict) -> dict:
+    return {k: sum(z[k] for z in per_zone.values()) for k in _STAT_KEYS}
+
+
+def bench_scale_run(p: ScaleParams, sim_s: float, parallel: bool = True) -> dict:
+    """The measured configuration: sharded, process workers, fluid media."""
+    start = time.perf_counter()
+    sharded = ShardedSimulation(scale_builders(p), SEED, parallel=parallel)
+    build_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    per_zone = sharded.run(sim_s)
+    wall = time.perf_counter() - start
+    tot = _totals(per_zone)
+    return {
+        "n_vms": n_vms(p),
+        "n_zones": p.n_zones,
+        "parallel": parallel,
+        "sim_s": sim_s,
+        "build_wall_s": build_wall,
+        "wall_clock_s": wall,
+        "windows": sharded.windows,
+        "envelopes_routed": sharded.envelopes_routed,
+        "boundary_digest": sharded.boundary_digest,
+        "sessions_per_sim_s": tot["sessions"] / sim_s,
+        "sessions_per_wall_s": tot["sessions"] / wall,
+        "fluid_byte_fraction": (
+            tot["fluid_bytes"] / tot["media_bytes"] if tot["media_bytes"] else 0.0
+        ),
+        **tot,
+        "per_zone": per_zone,
+    }
+
+
+def bench_baseline_slice(p: ScaleParams, sim_s: float) -> dict:
+    """Single-shard per-packet reference over a short slice."""
+    packet_p = dataclasses.replace(p, fluid=False)
+    sim, zones = build_scale_monolithic(SEED, packet_p)
+    start = time.perf_counter()
+    sim.run(until=sim_s)
+    wall = time.perf_counter() - start
+    sessions = sum(z.stats.sessions for z in zones)
+    errors = sum(z.stats.errors for z in zones)
+    sim.close()
+    return {
+        "n_vms": n_vms(p),
+        "sim_s": sim_s,
+        "wall_clock_s": wall,
+        "sessions": sessions,
+        "errors": errors,
+        "sessions_per_sim_s": sessions / sim_s,
+        "sessions_per_wall_s": sessions / wall,
+    }
+
+
+def check_determinism() -> dict:
+    """Small config, four ways: every boundary digest and per-zone result
+    must agree bit-for-bit (shards vs processes vs reference engine vs the
+    monolithic twin)."""
+    p = SMOKE_PARAMS
+    runs: dict[str, dict] = {}
+    for label, kwargs in (
+        ("inline", {"parallel": False}),
+        ("process", {"parallel": True}),
+        ("reference_engine", {"parallel": False, "fast_path": False}),
+    ):
+        sharded = ShardedSimulation(scale_builders(p), SEED, **kwargs)
+        per_zone = sharded.run(SMOKE_SIM_S)
+        runs[label] = {"digest": sharded.boundary_digest, "results": per_zone}
+    sim, zones = build_scale_monolithic(SEED, p)
+    sim.run(until=SMOKE_SIM_S)
+    mono = {z.name: z.stats.as_dict() for z in zones}
+    sim.close()
+    digests = {label: r["digest"] for label, r in runs.items()}
+    digests_match = len(set(digests.values())) == 1
+    results_match = all(r["results"] == mono for r in runs.values())
+    tot = _totals(runs["inline"]["results"])
+    return {
+        "sim_s": SMOKE_SIM_S,
+        "boundary_digests": digests,
+        "digests_match": digests_match,
+        "results_match_monolithic": results_match,
+        "sessions": tot["sessions"],
+        "fluid_enters": tot["fluid_enters"],
+        "fluid_exits": tot["fluid_exits"],
+        "errors": tot["errors"],
+        "ok": digests_match and results_match and tot["sessions"] > 0,
+    }
+
+
+def run_bench(quick: bool = False) -> dict:
+    if quick:
+        p, sim_s, base_s = QUICK_PARAMS, QUICK_SIM_S, QUICK_BASELINE_SIM_S
+        target, session_floor = QUICK_FLOOR, QUICK_SESSION_FLOOR
+    else:
+        p, sim_s, base_s = FULL_PARAMS, FULL_SIM_S, FULL_BASELINE_SIM_S
+        target, session_floor = FULL_TARGET, FULL_SESSION_FLOOR
+    determinism = check_determinism()
+    baseline = bench_baseline_slice(p, base_s)
+    scale = bench_scale_run(p, sim_s)
+    speedup = scale["sessions_per_wall_s"] / baseline["sessions_per_wall_s"]
+    return {
+        **provenance(),
+        "mode": "quick" if quick else "full",
+        "params": dataclasses.asdict(p),
+        "results": {
+            "determinism": determinism,
+            "baseline_single_shard": baseline,
+            "scale_run": scale,
+        },
+        "acceptance": {
+            "metric": "scale_run.sessions_per_wall_s / baseline.sessions_per_wall_s",
+            "target_speedup": target,
+            "measured_speedup": speedup,
+            "session_floor": session_floor,
+            "measured_sessions": scale["sessions"],
+            "determinism_ok": determinism["ok"],
+            "errors": scale["errors"],
+            "pass": (
+                speedup >= target
+                and scale["sessions"] >= session_floor
+                and determinism["ok"]
+            ),
+        },
+    }
+
+
+def write_report(report: dict) -> pathlib.Path:
+    path = REPO_ROOT / "BENCH_scale.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    report = run_bench(quick=quick)
+    path = write_report(report)
+    det = report["results"]["determinism"]
+    base = report["results"]["baseline_single_shard"]
+    scale = report["results"]["scale_run"]
+    acc = report["acceptance"]
+    print(f"determinism: digests_match={det['digests_match']} "
+          f"results_match={det['results_match_monolithic']} "
+          f"(fluid enters {det['fluid_enters']}, exits {det['fluid_exits']})")
+    print(f"baseline : {base['sessions']:,} sessions over {base['sim_s']:.0f} sim-s "
+          f"in {base['wall_clock_s']:.1f}s -> {base['sessions_per_wall_s']:,.0f} sess/s")
+    print(f"scale run: {scale['sessions']:,} sessions, {scale['n_vms']:,} VMs, "
+          f"{scale['sim_s']:.0f} sim-s in {scale['wall_clock_s']:.1f}s "
+          f"-> {scale['sessions_per_wall_s']:,.0f} sess/s "
+          f"({scale['fluid_byte_fraction']:.1%} of media bytes fluid, "
+          f"{scale['errors']} errors)")
+    print(f"acceptance: {acc['measured_speedup']:.2f}x vs {acc['target_speedup']}x "
+          f"target, {acc['measured_sessions']:,} sessions vs "
+          f"{acc['session_floor']:,} floor "
+          f"-> {'PASS' if acc['pass'] else 'FAIL'}")
+    print(f"report: {path}")
+    return 0 if acc["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

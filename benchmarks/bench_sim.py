@@ -42,6 +42,11 @@ from repro.net.tcp import TcpStack
 from repro.net.topology import lan_pair
 from repro.sim.engine import Simulator
 
+try:  # imported as a package (tests) or run as a script (CI / local)
+    from benchmarks._provenance import provenance
+except ImportError:  # pragma: no cover
+    from _provenance import provenance
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 FULL_TARGET = 3.0
@@ -174,8 +179,7 @@ def run_bench(quick: bool = False) -> dict:
         target = FULL_TARGET
     measured = iperf["speedup"]
     return {
-        "generated_unix": time.time(),
-        "python": sys.version.split()[0],
+        **provenance(),
         "mode": "quick" if quick else "full",
         "results": {"dispatch": dispatch, "iperf_e2e": iperf},
         "acceptance": {

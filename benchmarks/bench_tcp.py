@@ -47,6 +47,11 @@ from repro.net.topology import lan_pair
 from repro.sim import RngStreams
 from repro.sim.engine import Simulator
 
+try:  # imported as a package (tests) or run as a script (CI / local)
+    from benchmarks._provenance import provenance
+except ImportError:  # pragma: no cover
+    from _provenance import provenance
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 TARGET_RATIO = 1.5
@@ -128,8 +133,7 @@ def run_bench(quick: bool = False) -> dict:
     burst_loss = bench_goodput(n_bytes, loss_burst=3)
     measured = burst_loss["goodput_ratio"]
     return {
-        "generated_unix": time.time(),
-        "python": sys.version.split()[0],
+        **provenance(),
         "mode": "quick" if quick else "full",
         "results": {"random_loss": random_loss, "burst_loss": burst_loss},
         "acceptance": {

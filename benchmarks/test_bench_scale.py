@@ -1,0 +1,46 @@
+"""Pytest wrappers around the sharded + fluid scale benchmark.
+
+The quick test mirrors the CI bench-scale smoke job: small shard count,
+short run, conservative 1.3x floor (the direct quick run demonstrates
+~19x on an unloaded machine; this floor only guards against losing the
+fluid fast path or the shard barrier).  The determinism section is held
+to full strictness in both — a speedup with drift is a regression.
+
+The full-scale run (thousands of VMs, a million sessions, ~half an hour)
+is ``slow``-marked and opt-in::
+
+    PYTHONPATH=src python -m pytest -m slow benchmarks/test_bench_scale.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_scale import (
+    FULL_SESSION_FLOOR,
+    FULL_TARGET,
+    run_bench,
+    write_report,
+)
+
+QUICK_FLOOR = 1.3
+
+
+def test_scale_quick_smoke():
+    report = run_bench(quick=True)
+    write_report(report)
+    assert report["results"]["determinism"]["ok"]
+    assert report["acceptance"]["measured_speedup"] >= QUICK_FLOOR
+    assert report["results"]["scale_run"]["errors"] == 0
+    assert report["results"]["scale_run"]["fluid_byte_fraction"] > 0.5
+
+
+@pytest.mark.slow
+def test_scale_full_million_sessions():
+    report = run_bench(quick=False)
+    write_report(report)
+    acc = report["acceptance"]
+    assert acc["determinism_ok"]
+    assert acc["measured_sessions"] >= FULL_SESSION_FLOOR
+    assert acc["measured_speedup"] >= FULL_TARGET
+    assert acc["pass"]

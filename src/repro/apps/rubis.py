@@ -71,18 +71,51 @@ REQUEST_MIX: tuple[RequestType, ...] = (
     ),
 )
 
+#: Lightweight JSON-API flavour of the mix for the scale scenario: the same
+#: tables and access patterns, but single-query, sub-MSS payloads (the shape
+#: of RUBiS behind a 2012 AJAX frontend).  Small pages keep the per-session
+#: packet budget low enough that a million sessions fit in a benchmark run;
+#: the full-page mix above stays the fidelity reference.
+SCALE_API_MIX: tuple[RequestType, ...] = (
+    RequestType(
+        name="ApiBrowse", path="/api/browse", weight=0.45,
+        queries=(("scan", "categories", 8),),
+        render_cost=4.0e-4, page_bytes=1360, parse_cost=1.0e-4,
+    ),
+    RequestType(
+        name="ApiItem", path="/api/item", weight=0.35,
+        queries=(("pk", "items", 1),),
+        render_cost=3.0e-4, page_bytes=1024, parse_cost=1.0e-4,
+    ),
+    RequestType(
+        name="ApiBids", path="/api/bids", weight=0.20,
+        queries=(("pk", "items", 1),),
+        render_cost=3.0e-4, page_bytes=640, parse_cost=1.0e-4,
+    ),
+)
+
 _BY_PATH = {rt.path: rt for rt in REQUEST_MIX}
+_BY_PATH.update({rt.path: rt for rt in SCALE_API_MIX})
+
+
+def _weighted(mix: tuple[RequestType, ...], rng) -> RequestType:
+    total = sum(rt.weight for rt in mix)
+    x = rng.random() * total
+    for rt in mix:
+        x -= rt.weight
+        if x <= 0:
+            return rt
+    return mix[-1]
 
 
 def pick_request(rng) -> RequestType:
     """Draw a request type from the weighted mix."""
-    total = sum(rt.weight for rt in REQUEST_MIX)
-    x = rng.random() * total
-    for rt in REQUEST_MIX:
-        x -= rt.weight
-        if x <= 0:
-            return rt
-    return REQUEST_MIX[-1]
+    return _weighted(REQUEST_MIX, rng)
+
+
+def pick_scale_request(rng) -> RequestType:
+    """Draw a request type from the lightweight API mix."""
+    return _weighted(SCALE_API_MIX, rng)
 
 
 def request_path(rt: RequestType, rng) -> str:

@@ -207,6 +207,7 @@ class HipDaemon:
         node.add_output_shim(self._output_shim)
         node.register_protocol("hip", self._on_hip_packet)
         node.register_protocol("esp", self._on_esp_packet)
+        node.fluid_taxers.append(self._fluid_taxer)
 
         self._tx = Queue(self.sim)
         self._rx = Queue(self.sim)
@@ -349,6 +350,11 @@ class HipDaemon:
                 self._drop_esp(esp_header, str(exc))
                 continue
             delivered = self._rebuild_inner(inner, assoc, kind)
+            if packet.meta.get("ce"):
+                # RFC 6040 decapsulation: a CE mark set on the outer ESP
+                # packet by a congested link is copied to the inner header
+                # so the tunneled flow sees the congestion signal.
+                delivered = delivered.with_meta(ce=True)
             self.data_packets_received += 1
             _DATA_RECV.value += 1
             if RECORDER.enabled:
@@ -357,6 +363,41 @@ class HipDaemon:
                     spi=esp_header.spi, seq=esp_header.seq, bytes=delivered.size_bytes,
                 )
             self.node._on_receive(delivered, None)
+
+    def _fluid_taxer(
+        self, peer_addr: IPAddress, n_bytes: int, n_segments: int, direction: str
+    ) -> None:
+        """Charge ESP dataplane costs for TCP fluid fast-forwarded bytes.
+
+        A fluid flow skips per-packet events, but each skipped segment would
+        have paid address translation plus ESP encrypt (out) / decrypt (in).
+        Charge the same meters per virtual byte so the crypto accounting
+        stays honest.  CPU busy-seconds are tallied without occupying the
+        CPU slot — the closed-form rate already subsumes the transfer's
+        elapsed time.
+        """
+        if n_segments <= 0 or not self.config.charge_costs:
+            return
+        if is_lsi(peer_addr) and peer_addr != self.lsi.own_lsi:
+            kind = "lsi"
+        elif is_hit(peer_addr) and peer_addr != self.hit:
+            kind = "hit"
+        else:
+            return  # not a HIP-addressed flow: no ESP on this path
+        cm = self.node.cost_model
+        translate = cm.lsi_translation if kind == "lsi" else cm.hit_translation
+        seg_bytes = n_bytes // n_segments
+        if direction == "out":
+            per_seg = translate + cm.esp_encrypt_cost(seg_bytes)
+            self.meter.charge(f"esp.encrypt.{kind}", per_seg * n_segments)
+            self.data_packets_sent += n_segments
+            _DATA_SENT.value += n_segments
+        else:
+            per_seg = translate + cm.esp_decrypt_cost(seg_bytes)
+            self.meter.charge(f"esp.decrypt.{kind}", per_seg * n_segments)
+            self.data_packets_received += n_segments
+            _DATA_RECV.value += n_segments
+        self.node.cpu_busy_seconds += per_seg * n_segments
 
     def _drop_esp(self, esp_header: ESPHeader, reason: str) -> None:
         self.drops_esp += 1
@@ -678,6 +719,7 @@ class HipDaemon:
             mode=self.config.esp_mode, encrypt=self.config.esp_encrypt,
         )
         self._sa_in_by_spi[local_spi] = assoc
+        self.node.dataplane_epoch += 1  # new SA pair: fluid flows must re-enter
         # 6. R2: ESP_INFO + HMAC + signature.
         r2 = self._new_packet(hp.R2, assoc.peer_hit)
         r2.add(hp.ESP_INFO, hp.build_esp_info(0, local_spi))
@@ -791,6 +833,7 @@ class HipDaemon:
             mode=self.config.esp_mode, encrypt=self.config.esp_encrypt,
         )
         self._sa_in_by_spi[local_spi] = assoc
+        self.node.dataplane_epoch += 1  # new SA pair: fluid flows must re-enter
         self._established(assoc)
         # Flush packets queued while the exchange ran.
         queued, assoc.queued = assoc.queued, []
@@ -843,6 +886,7 @@ class HipDaemon:
         if old_spi is not None:
             self._sa_in_by_spi.pop(old_spi, None)
         self._sa_in_by_spi[local_spi] = assoc
+        self.node.dataplane_epoch += 1  # rekey: force fluid flows back to packets
 
     # ------------------------------------------------------------------ mobility --
     def move_to(self, new_locator: IPAddress) -> None:
@@ -1046,6 +1090,7 @@ class HipDaemon:
         if assoc.sa_in is not None:
             self._sa_in_by_spi.pop(assoc.sa_in.spi, None)
         assoc.sa_in = assoc.sa_out = None
+        self.node.dataplane_epoch += 1  # SA teardown disturbs any fluid flow
 
     # --------------------------------------------------------------------- helpers --
     def _alloc_spi(self) -> int:

@@ -271,6 +271,20 @@ class LinkEndpoint:
             self._unflushed_pkts = 0
             self._unflushed_bytes = 0
 
+    def account_fluid(self, n_bytes: int, n_segments: int) -> None:
+        """Charge a fluid fast-forwarded transfer to this endpoint's tallies.
+
+        TCP fluid mode advances bulk flows without emitting packets; the
+        sender's first-hop endpoint still books the payload bytes and segment
+        count so link utilization totals remain comparable with per-packet
+        runs (queueing and per-hop timing are intentionally not modeled —
+        fluid entry requires an uncongested steady state).
+        """
+        self.tx_packets += n_segments
+        self.tx_bytes += n_bytes
+        _TX_PACKETS.value += n_segments
+        _TX_BYTES.value += n_bytes
+
     # -- reference path: serializer + delivery processes ----------------------
     def _transmitter(self):
         while True:

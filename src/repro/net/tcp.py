@@ -21,7 +21,20 @@ Implements the behaviourally-relevant subset for the paper's experiments:
   zero-window persist timer that probes a closed window so a lost window
   update cannot deadlock the connection;
 * optional callback-lane pacing (``pacing=True``): segments leave at
-  ``cwnd/srtt`` instead of in back-to-back window bursts.
+  ``cwnd/srtt`` instead of in back-to-back window bursts;
+* optional fluid fast-forward (``fluid=True``): a window-limited bulk flow
+  whose congestion window has stopped moving drains its pipe, locates its
+  peer endpoint (via an in-band probe that crosses ESP/VPN encapsulation
+  like any other segment), and then advances as a closed-form rate integral
+  ``min(cwnd, peer_window)/srtt`` — skipping per-segment events entirely —
+  until the transfer completes or the steady state is disturbed (loss, ECN
+  echo, a rekey bumping ``Node.dataplane_epoch``, or a competing flow
+  appearing on either stack), at which point it re-enters packet mode with
+  bit-identical ``snd_nxt``/``cwnd``/``bytes_acked``.  Crypto costs are
+  still charged per virtual byte through ``Node.fluid_taxers``.  ``fluid``
+  implies RFC 2861-style congestion-window validation (``cwnd`` only grows
+  while the flow is cwnd-limited), which is what pins ``cwnd`` exactly in
+  the window-limited steady state.
 
 ``cc="reno"`` selects the legacy Reno machine (no SACK, no recovery state)
 — retained as the baseline for ``benchmarks/bench_tcp.py``.
@@ -54,6 +67,9 @@ _FAILURES = METRICS.counter("tcp.connection_failures")
 _FAST_RECOVERIES = METRICS.counter("tcp.fast_recoveries")
 _ECN_REDUCTIONS = METRICS.counter("tcp.ecn_reductions")
 _ZW_PROBES = METRICS.counter("tcp.zero_window_probes")
+_FLUID_ENTERS = METRICS.counter("tcp.fluid_enters")
+_FLUID_EXITS = METRICS.counter("tcp.fluid_exits")
+_FLUID_BYTES = METRICS.counter("tcp.fluid_bytes")
 _RTT = METRICS.histogram("tcp.rtt_s")
 
 DEFAULT_MSS = 1448  # bytes of payload per segment (Ethernet MTU - headers)
@@ -64,6 +80,17 @@ DELACK_TIMEOUT = 0.04
 PERSIST_MIN = 0.5  # zero-window probe interval bounds (RFC 1122 §4.2.2.17)
 PERSIST_MAX = 60.0
 SACK_MAX_BLOCKS = 3  # blocks per ACK, as a timestamped real header would fit
+#: Fluid fast-forward tuning.  A flow is considered steady once this many
+#: effective windows of data have been cleanly acknowledged (no loss, SACK,
+#: ECN or retransmission since the counter last reset), and entry is only
+#: worthwhile if at least this many windows remain to fast-forward.
+FLUID_STABLE_WINDOWS = 2
+FLUID_MIN_WINDOWS = 3
+#: Simulated seconds advanced per fluid checkpoint: each chunk re-validates
+#: the steady-state guards (peer alive, no rekey, no competing flow) so a
+#: disturbance is noticed within one chunk.
+FLUID_CHUNK_S = 0.25
+FLUID_PROBE_RETRIES = 3
 
 #: Shared flag set for the overwhelmingly common case (data segments and
 #: pure ACKs) — the fast path reuses it instead of allocating a fresh
@@ -117,6 +144,9 @@ class TcpConnection:
         recv_window: int = DEFAULT_WINDOW,
         cc: str = "newreno",
         pacing: bool = False,
+        fluid: bool = False,
+        fluid_flow_guard: bool = True,
+        cwnd_validation: bool | None = None,
     ) -> None:
         if cc not in ("newreno", "reno"):
             raise ValueError(f"unknown congestion control {cc!r}")
@@ -180,6 +210,49 @@ class TcpConnection:
         self._vp_cache_key: tuple[int, str] = (-1, "")
         self._fin_queued = False
         self._fin_seq: int | None = None
+        # Fluid fast-forward (flow-level bulk mode); see the module docstring.
+        # ``cwnd_validation`` defaults to following ``fluid`` — a fluid flow
+        # needs the frozen-cwnd steady state, everything else keeps today's
+        # unvalidated growth so existing experiments are untouched.
+        self.fluid = fluid
+        # The competing-flow guard exits fluid mode when either endpoint's
+        # stack gains or loses a connection (a new flow may share the
+        # bottleneck).  A dedicated bulk tier serving many *window-limited*
+        # transfers concurrently turns it off — there each flow's throughput
+        # is wnd/rtt regardless of its neighbours, so arrivals aren't
+        # disturbances.
+        self.fluid_flow_guard = fluid_flow_guard
+        self.cwnd_validation = fluid if cwnd_validation is None else cwnd_validation
+        self._fluid_want = False  # draining the pipe before jumping
+        self._fluid_active = False  # advancing as a rate integral
+        self._fluid_peer: TcpConnection | None = None
+        self._fluid_timer = None  # TimerHandle shared by probe-wait and chunks
+        self._fluid_clean = 0  # bytes cleanly acked since last disturbance
+        self._fluid_goal = 0  # snd_buf_end snapshot at entry
+        self._fluid_chunk = 0
+        self._fluid_rate = 0.0  # bytes per simulated second while active
+        self._fluid_wait_tries = 0
+        self._fluid_entry_flows = 0
+        self._fluid_entry_epoch = 0
+        self._fluid_entry_wnd = 0
+        self.fluid_bytes = 0
+        self.fluid_enters = 0
+        self.fluid_exits = 0
+        #: ("enter" | "exit:<why>", time, snd_nxt, cwnd, bytes_acked) at every
+        #: mode boundary — the replay-equality tests diff this against the
+        #: pure per-packet run.
+        self.fluid_log: list[tuple] = []
+        if fluid:
+            # Sim-scoped peer directory: the in-band probe carries this id so
+            # the receiving endpoint can link the two connection objects even
+            # when the 4-tuples don't mirror (HIP LSI/HIT translation).
+            services = self.sim.services
+            ident = services.get("tcp.fluid_next_id", 1)
+            services["tcp.fluid_next_id"] = ident + 1
+            self._fluid_id = ident
+            services.setdefault("tcp.fluid_conns", {})[ident] = self
+        else:
+            self._fluid_id = 0
 
         # --- receive side ---
         self.recv_window = recv_window
@@ -375,6 +448,8 @@ class TcpConnection:
 
     def _pump(self) -> None:
         """Send as much queued data as the congestion/flow windows allow."""
+        if self._fluid_active or self._fluid_want:
+            return  # flow-level mode (or draining into it): no new segments
         if self.peer_window == 0:
             # Honor a closed peer window (the old code treated 0 as one MSS
             # and kept transmitting).  If data or a FIN is pending, arm the
@@ -665,6 +740,8 @@ class TcpConnection:
         self.ssthresh = max(flight // 2, 2 * self.mss)
         self.cwnd = self.mss
         self.dup_acks = 0
+        self._fluid_clean = 0
+        self._fluid_want = False  # a timeout while draining aborts the jump
         # Timeout aborts any fast recovery and discards the SACK scoreboard
         # (RFC 2018 §8: the receiver may renege on SACKed data).
         self.in_recovery = False
@@ -749,6 +826,10 @@ class TcpConnection:
             self._on_ece()
         if ack > self.snd_una:
             acked = ack - self.snd_una
+            # Captured before snd_una moves: RFC 2861-style congestion-window
+            # validation needs to know whether the flow was actually
+            # cwnd-limited when this window of data was sent.
+            flight_before = self.snd_nxt - self.snd_una
             self.snd_una = ack
             self.bytes_acked += acked
             self.dup_acks = 0
@@ -777,10 +858,16 @@ class TcpConnection:
                     # immediately and deflate by the amount acknowledged.
                     self._partial_retransmit(ack)
                     self.cwnd = max(self.cwnd - acked + self.mss, self.mss)
-            elif self.cwnd < self.ssthresh:
-                self.cwnd += min(acked, self.mss)  # slow start
-            else:
-                self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # AIMD
+            elif not self.cwnd_validation or flight_before + self.mss >= self.cwnd:
+                # With validation on, a flow that was not using its window
+                # (receiver- or application-limited) does not grow it — so a
+                # window-limited steady flow pins cwnd exactly (RFC 2861).
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += min(acked, self.mss)  # slow start
+                else:
+                    self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # AIMD
+            if self.fluid:
+                self._fluid_clean += acked
             if self.snd_una >= self.snd_nxt:
                 self._cancel_timer()  # everything acked
                 if self.state == "FIN_WAIT" and self._fin_seq is not None and ack > self._fin_seq:
@@ -788,6 +875,12 @@ class TcpConnection:
             else:
                 self._arm_timer()
             self._pump()
+            if self.fluid:
+                if self._fluid_want:
+                    if self.snd_una >= self.snd_nxt:
+                        self._fluid_try_jump()
+                elif not self._fluid_active:
+                    self._maybe_fluid_enter()
         elif (
             ack == self.snd_una
             and self.snd_una < self.snd_nxt
@@ -830,6 +923,8 @@ class TcpConnection:
         flight = max(self.snd_nxt - self.snd_una, self.mss)
         self.ssthresh = max(flight // 2, 2 * self.mss)
         self.in_recovery = True
+        self._fluid_clean = 0
+        self._fluid_want = False  # loss while draining aborts the jump
         self._high_rtx = self.snd_una
         self.fast_recoveries += 1
         _FAST_RECOVERIES.inc()
@@ -876,6 +971,7 @@ class TcpConnection:
     # -- SACK scoreboard (RFC 2018) ----------------------------------------------------
     def _register_sack(self, blocks: tuple) -> None:
         """Merge peer-reported received ranges into the sorted scoreboard."""
+        self._fluid_clean = 0  # reordering/loss signal: not a steady flow
         sacked = self._sacked
         una = self.snd_una
         for start, end in blocks:
@@ -958,6 +1054,11 @@ class TcpConnection:
             RECORDER.record(
                 self.sim.now, "tcp", "ecn_reduction", node=self.node.name,
             )
+        self._fluid_clean = 0
+        if self._fluid_active:
+            self._fluid_exit("ecn")  # congestion: back to per-packet fidelity
+        elif self._fluid_want:
+            self._fluid_want = False
 
     def _sack_blocks(self) -> tuple:
         """Receiver side: out-of-order ranges to advertise (ascending)."""
@@ -983,6 +1084,266 @@ class TcpConnection:
             self.srtt = 0.875 * self.srtt + 0.125 * sample
         self.rto = min(max(self.srtt + 4 * self.rttvar, MIN_RTO), MAX_RTO)
         _RTT.observe(sample)
+
+    # -- fluid fast-forward (flow-level bulk mode) ---------------------------------------
+    #
+    # Protocol: once a window-limited bulk flow has been steady for
+    # FLUID_STABLE_WINDOWS windows, the sender (1) stops emitting new
+    # segments and sends an in-band probe announcing its directory id,
+    # (2) waits for the pipe to drain (snd_una == snd_nxt) and for the
+    # probe to have linked the peer connection object, then (3) advances
+    # both endpoints in closed form at min(cwnd, peer_window)/srtt via one
+    # rearmed callback timer, charging crypto/link costs per virtual byte.
+    # Any disturbance — loss, ECN echo, a dataplane rekey, a competing flow
+    # on either stack, peer teardown — drops the flow back to packet mode
+    # with exactly the sender/receiver state a per-packet run would have at
+    # that stream offset.
+
+    def _fluid_eligible(self) -> bool:
+        if (
+            self.state != "ESTABLISHED"
+            or self.in_recovery
+            or self._sacked
+            or self._ecn_echo
+            or self._cwr_pending
+            or self._persist_armed
+            or self.pacing
+            or self.srtt is None
+            or self.ooo
+        ):
+            return False
+        wnd = self.peer_window
+        # Strictly past the cwnd-validation equilibrium (cwnd > wnd + mss):
+        # below it cwnd is still creeping up each ACK, and freezing early
+        # would diverge from the per-packet run.
+        if wnd <= 0 or self.cwnd <= wnd + self.mss:
+            return False
+        if self._fluid_clean < FLUID_STABLE_WINDOWS * wnd:
+            return False
+        remaining = self.snd_buf_end - self.snd_nxt
+        if remaining < FLUID_MIN_WINDOWS * wnd or remaining < 4 * self.mss:
+            return False
+        # Every byte that would be fast-forwarded must be virtual — real
+        # bytes always travel as segments.
+        for start, chunk in self.snd_buf:
+            if start + len(chunk) <= self.snd_nxt:
+                continue
+            if not isinstance(chunk, VirtualPayload):
+                return False
+        return True
+
+    def _maybe_fluid_enter(self) -> None:
+        if not self._fluid_eligible():
+            return
+        self._fluid_want = True
+        self._fluid_goal = self.snd_buf_end
+        self._fluid_wait_tries = 0
+        if self._fluid_peer is None:
+            self._fluid_send_probe()
+        if self.snd_una >= self.snd_nxt:
+            self._fluid_try_jump()
+
+    def _fluid_send_probe(self) -> None:
+        """In-band peer discovery: a pure ACK whose meta names our directory id.
+
+        It rides the normal dataplane — through output shims, ESP/VPN
+        encapsulation and decapsulation — so whatever endpoint demultiplexes
+        it *is* the peer connection object, LSI/HIT translation included.
+        """
+        header = TCPHeader(
+            self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt,
+            _ACK_FLAGS, self.recv_window, _EMPTY_SACK,
+        )
+        packet = Packet(
+            headers=(header,), payload=b"", meta={"fluid_probe": self._fluid_id}
+        )
+        self.node.send_ip(self.remote_addr, "tcp", packet, src=self.local_addr)
+        self.segments_sent += 1
+        _SEGMENTS_SENT.value += 1
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "fluid_probe",
+                node=self.node.name, dst_port=self.remote_port,
+            )
+
+    def _on_fluid_probe(self, sender_id: int) -> None:
+        if self.state not in ("ESTABLISHED", "FIN_WAIT"):
+            return
+        conns = self.sim.services.get("tcp.fluid_conns")
+        sender = None if conns is None else conns.get(sender_id)
+        if sender is None or sender is self or sender.sim is not self.sim:
+            return
+        sender._fluid_peer = self
+        self._fluid_peer = sender  # back-link severed on either teardown
+
+    def _fluid_try_jump(self) -> None:
+        if not self._fluid_want or self.state != "ESTABLISHED":
+            return
+        peer = self._fluid_peer
+        if peer is None:
+            # Probe (or its link-back) still in flight: check again in an
+            # RTT, give up after a few tries.
+            self._fluid_wait_tries += 1
+            if self._fluid_wait_tries > FLUID_PROBE_RETRIES:
+                self._fluid_abort()
+                return
+            if self._fluid_wait_tries > 1:
+                self._fluid_send_probe()
+            self._fluid_arm(max(self.srtt or 0.0, 0.01))
+            return
+        if (
+            peer.state != "ESTABLISHED"
+            or peer.sim is not self.sim
+            or peer.rcv_nxt != self.snd_nxt
+            or peer.ooo
+            or peer._fluid_active
+        ):
+            self._fluid_abort()
+            return
+        wnd = min(self.cwnd, self.peer_window)
+        if wnd <= 0 or self.srtt is None:
+            self._fluid_abort()
+            return
+        self._fluid_want = False
+        self._fluid_active = True
+        self._fluid_rate = wnd / self.srtt
+        self._fluid_entry_flows = len(self.stack._connections) + len(
+            peer.stack._connections
+        )
+        self._fluid_entry_epoch = (
+            self.node.dataplane_epoch + peer.node.dataplane_epoch
+        )
+        self._fluid_entry_wnd = self.peer_window
+        self.fluid_enters += 1
+        _FLUID_ENTERS.inc()
+        self.fluid_log.append(
+            ("enter", self.sim.now, self.snd_nxt, self.cwnd, self.bytes_acked)
+        )
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "fluid_enter",
+                node=self.node.name, dst_port=self.remote_port,
+                seq=self.snd_nxt, rate_bps=self._fluid_rate * 8.0,
+            )
+        self._fluid_schedule()
+
+    def _fluid_abort(self) -> None:
+        """Leave the drain state without having jumped; resume packet mode."""
+        self._fluid_want = False
+        self._fluid_clean = 0
+        if self.state in ("ESTABLISHED", "FIN_WAIT"):
+            self._pump()
+
+    def _fluid_arm(self, delay: float) -> None:
+        handle = self._fluid_timer
+        if handle is None:
+            self._fluid_timer = self.sim.call_later(
+                delay, TcpConnection._fluid_fired, self
+            )
+        else:
+            handle.rearm(delay)
+
+    def _fluid_schedule(self) -> None:
+        remaining = self._fluid_goal - self.snd_nxt
+        chunk = min(remaining, max(int(self._fluid_rate * FLUID_CHUNK_S), self.mss))
+        self._fluid_chunk = chunk
+        self._fluid_arm(chunk / self._fluid_rate)
+
+    def _fluid_fired(self) -> None:
+        if self._fluid_active:
+            self._fluid_advance()
+        elif self._fluid_want:
+            if self.snd_una >= self.snd_nxt:
+                self._fluid_try_jump()
+            # else: still draining; the ACK path retries the jump.
+
+    def _fluid_advance(self) -> None:
+        if self.state != "ESTABLISHED":
+            return
+        peer = self._fluid_peer
+        if (
+            peer is None
+            or peer.state != "ESTABLISHED"
+            or (
+                self.fluid_flow_guard
+                and len(self.stack._connections) + len(peer.stack._connections)
+                != self._fluid_entry_flows
+            )
+            or self.node.dataplane_epoch + peer.node.dataplane_epoch
+            != self._fluid_entry_epoch
+            or self.peer_window != self._fluid_entry_wnd
+        ):
+            self._fluid_exit("disturbed")
+            return
+        n = min(self._fluid_chunk, self._fluid_goal - self.snd_nxt)
+        if n <= 0:
+            self._fluid_exit("complete")
+            return
+        # Deliver the stream slice(s) to the peer's receive queue exactly as
+        # per-packet _accept_data would, minus the segment events.
+        seq = self.snd_nxt
+        end = seq + n
+        while seq < end:
+            piece = self._gather(seq, end - seq)
+            peer.rx.try_put(piece)
+            seq += len(piece)
+        self.snd_nxt = end
+        self.snd_una = end
+        self.bytes_sent += n
+        self.bytes_acked += n
+        self.fluid_bytes += n
+        peer.rcv_nxt = end
+        peer.bytes_received += n
+        _FLUID_BYTES.value += n
+        self._fluid_charge(n)
+        # Trim delivered chunks (same drop rule as _gather's).
+        buf = self.snd_buf
+        while buf and buf[0][0] + len(buf[0][1]) <= self.snd_una:
+            buf.popleft()
+        if self.snd_nxt < self._fluid_goal:
+            self._fluid_schedule()
+        else:
+            self._fluid_exit("complete")
+
+    def _fluid_charge(self, n: int) -> None:
+        """Charge per-byte dataplane costs the skipped segments would have paid."""
+        segs = (n + self.mss - 1) // self.mss
+        node = self.node
+        if node.fluid_taxers:
+            for taxer in node.fluid_taxers:
+                taxer(self.remote_addr, n, segs, "out")
+        peer = self._fluid_peer
+        pnode = peer.node
+        if pnode.fluid_taxers:
+            for taxer in pnode.fluid_taxers:
+                taxer(peer.remote_addr, n, segs, "in")
+        # First-hop wire accounting on the sender's egress (if it has a
+        # routed one — shim-handled LSI/HIT destinations are charged by
+        # their daemon's taxer instead).
+        iface = node.routes.lookup(self.remote_addr)
+        if iface is not None and iface._endpoint is not None:
+            iface._endpoint.account_fluid(n, segs)
+
+    def _fluid_exit(self, why: str) -> None:
+        if not self._fluid_active:
+            return
+        self._fluid_active = False
+        self._fluid_clean = 0  # require fresh stability before re-entering
+        self.fluid_exits += 1
+        _FLUID_EXITS.inc()
+        self.fluid_log.append(
+            ("exit:" + why, self.sim.now, self.snd_nxt, self.cwnd, self.bytes_acked)
+        )
+        if RECORDER.enabled:
+            RECORDER.record(
+                self.sim.now, "tcp", "fluid_exit",
+                node=self.node.name, dst_port=self.remote_port,
+                seq=self.snd_nxt, why=why,
+            )
+        if self._fluid_timer is not None:
+            self._fluid_timer.cancel()
+        if self.state == "ESTABLISHED":
+            self._pump()  # resume per-packet transmission (FIN included)
 
     def _process_data(self, seq: int, payload: Payload, fin: bool) -> None:
         rcv_nxt = self.rcv_nxt
@@ -1102,6 +1463,21 @@ class TcpConnection:
         self._pace_gen += 1
         if self._pace_timer is not None:
             self._pace_timer.cancel()
+        if self._fluid_timer is not None:
+            self._fluid_timer.cancel()
+        self._fluid_active = False
+        self._fluid_want = False
+        if self._fluid_id:
+            conns = self.sim.services.get("tcp.fluid_conns")
+            if conns is not None:
+                conns.pop(self._fluid_id, None)
+        peer = self._fluid_peer
+        if peer is not None:
+            self._fluid_peer = None
+            if peer._fluid_peer is self:
+                peer._fluid_peer = None
+                if peer._fluid_active:
+                    peer._fluid_exit("peer_closed")
         self.stack._forget(self)
         if error is not None:
             _FAILURES.inc()
@@ -1134,12 +1510,16 @@ class TcpListener:
         recv_window: int,
         mss: int,
         cc: str = "newreno",
+        fluid: bool = False,
+        fluid_flow_guard: bool = True,
     ) -> None:
         self.stack = stack
         self.port = port
         self.recv_window = recv_window
         self.mss = mss
         self.cc = cc
+        self.fluid = fluid
+        self.fluid_flow_guard = fluid_flow_guard
         self.backlog = Queue(stack.node.sim, capacity=128)
 
     def accept(self):
@@ -1173,10 +1553,13 @@ class TcpStack:
         recv_window: int = DEFAULT_WINDOW,
         mss: int = DEFAULT_MSS,
         cc: str = "newreno",
+        fluid: bool = False,
+        fluid_flow_guard: bool = True,
     ) -> TcpListener:
         if port in self._listeners:
             raise OSError(f"TCP port {port} already listening on {self.node.name}")
-        listener = TcpListener(self, port, recv_window, mss, cc)
+        listener = TcpListener(self, port, recv_window, mss, cc, fluid=fluid,
+                               fluid_flow_guard=fluid_flow_guard)
         self._listeners[port] = listener
         return listener
 
@@ -1189,6 +1572,9 @@ class TcpStack:
         mss: int = DEFAULT_MSS,
         cc: str = "newreno",
         pacing: bool = False,
+        fluid: bool = False,
+        fluid_flow_guard: bool = True,
+        cwnd_validation: bool | None = None,
     ) -> TcpConnection:
         """Initiate a connection; wait on ``conn.established`` to use it."""
         if local_addr is None:
@@ -1199,6 +1585,8 @@ class TcpStack:
         conn = TcpConnection(
             self, local_addr, local_port, remote_addr, remote_port,
             mss=mss, recv_window=recv_window, cc=cc, pacing=pacing,
+            fluid=fluid, fluid_flow_guard=fluid_flow_guard,
+            cwnd_validation=cwnd_validation,
         )
         self._connections[self._key(local_port, remote_addr, remote_port)] = conn
         self._local_ports[local_port] = self._local_ports.get(local_port, 0) + 1
@@ -1266,6 +1654,10 @@ class TcpStack:
         conn = self._connections.get(key)
         if conn is not None:
             meta = packet.meta
+            if meta:
+                probe = meta.get("fluid_probe")
+                if probe:
+                    conn._on_fluid_probe(probe)
             conn._on_segment(tcp, body_payload, True if meta and meta.get("ce") else False)
             return
         if tcp.has("SYN") and not tcp.has("ACK"):
@@ -1274,7 +1666,8 @@ class TcpStack:
                 conn = TcpConnection(
                     self, ip.dst, tcp.dst_port, ip.src, tcp.src_port,
                     mss=listener.mss, recv_window=listener.recv_window,
-                    cc=listener.cc,
+                    cc=listener.cc, fluid=listener.fluid,
+                    fluid_flow_guard=listener.fluid_flow_guard,
                 )
                 self._connections[key] = conn
                 self._local_ports[tcp.dst_port] = (

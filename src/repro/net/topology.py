@@ -45,6 +45,39 @@ def wire(
     return iface_a, iface_b, link
 
 
+def wire_cross_shard(
+    shard,
+    node: Node,
+    addr: IPAddress | None,
+    out_port: str,
+    in_port: str,
+    dst_shard: str,
+    bandwidth_bps: float = 1e9,
+    delay_s: float = 1e-3,
+    queue_packets: int = 256,
+) -> Interface:
+    """Attach ``node`` to one end of a link whose far side is another shard.
+
+    Creates an interface wired to a :class:`~repro.sim.shard.ShardPortal`
+    egress (``out_port``) and registers the same interface as the landing
+    point for the remote shard's matching egress (``in_port``).  Both shards
+    must call this with mirrored port ids — shard A's ``out_port`` is shard
+    B's ``in_port`` and vice versa — and the same link parameters, so the
+    two directions replicate one full-duplex link's timing.
+    """
+    iface = node.add_interface(
+        f"eth{sum(i.name.startswith('eth') for i in node.interfaces)}"
+    )
+    if addr is not None:
+        iface.add_address(addr)
+    portal = shard.open_egress(
+        out_port, dst_shard, bandwidth_bps, delay_s, queue_packets
+    )
+    iface.attach(portal)
+    shard.open_ingress(in_port, iface)
+    return iface
+
+
 def default_route(node: Node, iface: Interface) -> None:
     """Point both v4 and v6 default routes at ``iface``."""
     node.routes.add(prefix("0.0.0.0/0"), iface)

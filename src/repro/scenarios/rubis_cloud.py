@@ -14,6 +14,10 @@
   deployment).
 * Web VMs are EC2 micros, the database a large instance, per §V-A.
 
+For the grown-sideways, multi-zone version of this deployment (one
+availability zone per simulation shard, a fluid-fast-forwarded media tier,
+million-session runs) see :mod:`repro.scenarios.rubis_scale`.
+
 The builder is deterministic in ``seed``.
 """
 

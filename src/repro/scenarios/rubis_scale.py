@@ -1,0 +1,441 @@
+"""Million-session RUBiS: the sharded + fluid-flow scale scenario.
+
+One availability zone per shard.  Each zone is a self-contained copy of the
+Figure-1 deployment grown sideways: a two-tier datacenter hosting the web
+tier, a database, a media VM and a crowd of idle multi-tenant filler VMs; a
+zone-local Internet stub with per-consumer WAN links; a keep-alive reverse
+proxy out front.  Zones peer through inter-AZ links — cross-shard portals in
+the sharded build, ordinary wires in the monolithic twin — and exchange UDP
+heartbeats across them, so the conservative-lookahead boundary carries real
+traffic for the boundary digests to referee.
+
+A *session* is one JSON-API request/response over a persistent connection
+(:data:`~repro.apps.rubis.SCALE_API_MIX`).  A tunable fraction of sessions
+tack on a bulk media download served by a ``fluid=True`` listener — the
+fluid fast-forward's stage: a cwnd-stabilised multi-megabyte transfer
+collapses from thousands of per-packet events into a handful of rate-
+integral chunks while still charging wire counters per virtual byte.  The
+media listener disables the competing-flow fluid guard: its transfers are
+window-limited (wnd/rtt far below any shared link's fair share), so
+concurrent arrivals on the media tier are not modeling disturbances.
+
+Both builders derive every random stream from the zone's shard namespace
+(``RngStreams(seed).spawn("shard:z<i>")``), so the sharded run, the
+monolithic twin, and the multiprocessing run draw identical randomness
+per zone — the per-zone session counts are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Generator
+
+from repro.apps.database import DbServer, rubis_tables
+from repro.apps.http import (
+    HttpError,
+    HttpRequest,
+    read_response,
+    write_request,
+)
+from repro.apps.proxy import Backend, ReverseProxy
+from repro.apps.rubis import RubisWebServer, pick_scale_request, request_path
+from repro.apps.streams import BufferedReader, PlainStream, StreamClosed
+from repro.cloud.datacenter import DatacenterParams, Internet
+from repro.cloud.iaas import PublicCloud
+from repro.cloud.tenant import SpreadPlacement, Tenant
+from repro.net.addresses import IPAddress, Prefix, ipv4
+from repro.net.node import Node
+from repro.net.packet import VirtualPayload
+from repro.net.tcp import TcpError, TcpStack
+from repro.net.topology import wire, wire_cross_shard
+from repro.net.udp import UdpStack
+from repro.scenarios.rubis_cloud import DB_PORT, FRONTEND_PORT, WEB_PORT
+from repro.sim import RngStreams, Simulator
+
+MEDIA_PORT = 9000
+HEARTBEAT_PORT = 7100
+
+# WAN one-way delays: metro-area consumers, a nearby LB, the paper's cloud.
+CLIENT_WAN_DELAY = 2e-3
+LB_WAN_DELAY = 1e-3
+CLOUD_WAN_DELAY = 2e-3
+
+
+@dataclass(frozen=True)
+class ScaleParams:
+    """Knobs for one scale run; defaults are test-sized, the benchmark
+    scales them up (thousands of VMs, dozens of clients per zone)."""
+
+    n_zones: int = 2
+    n_clients: int = 4  # closed-loop consumers per zone, one node each
+    n_web: int = 2
+    n_filler_vms: int = 8  # idle multi-tenant VMs padding the plant
+    n_racks: int = 1
+    hosts_per_rack: int = 2
+    media_prob: float = 0.02  # per-session chance of a bulk media fetch
+    media_bytes: int = 8 * 1024 * 1024
+    media_window: int = 262144  # media receive window (sets the fluid rate)
+    fluid: bool = True  # media tier serves in fluid fast-forward mode
+    think_time: float = 0.02  # mean think time between sessions
+    inter_zone_delay: float = 5e-3  # inter-AZ latency == lookahead window
+    inter_zone_bps: float = 10e9
+    heartbeat_interval: float = 0.25
+
+
+@dataclass
+class ZoneStats:
+    """Picklable per-zone tallies (the shard's result payload)."""
+
+    api_sessions: int = 0
+    media_sessions: int = 0
+    media_bytes: int = 0
+    fluid_bytes: int = 0
+    fluid_enters: int = 0
+    fluid_exits: int = 0
+    errors: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_recv: int = 0
+
+    @property
+    def sessions(self) -> int:
+        return self.api_sessions + self.media_sessions
+
+    def as_dict(self) -> dict:
+        out = asdict(self)
+        out["sessions"] = self.sessions
+        return out
+
+
+@dataclass
+class Zone:
+    """Handles to one zone's pieces (the in-process view)."""
+
+    name: str
+    index: int
+    provider: PublicCloud
+    internet: Internet
+    lb_node: Node
+    client_nodes: list[Node]
+    web_vms: list
+    db_vm: object
+    media_vm: object
+    stats: ZoneStats
+
+
+def _zone_base_octet(zone_index: int) -> int:
+    return 10 + zone_index
+
+
+def _cross_link_addrs(i: int, j: int) -> tuple[IPAddress, IPAddress]:
+    """/30-style endpoint pair for the inter-AZ link between zones i and j."""
+    a, b = sorted((i, j))
+    net = ipv4(f"172.29.{a}.{4 * b}").value
+    lo, hi = IPAddress(4, net + 1), IPAddress(4, net + 2)
+    return (lo, hi) if i < j else (hi, lo)
+
+
+def _ring_neighbors(i: int, n: int) -> list[int]:
+    return sorted({(i - 1) % n, (i + 1) % n} - {i})
+
+
+def _build_zone(sim: Simulator, zrngs, zone_index: int, p: ScaleParams) -> Zone:
+    """The shared guts: one zone's cloud, apps and consumers."""
+    zname = f"z{zone_index}"
+    dc_params = DatacenterParams(
+        n_racks=p.n_racks,
+        hosts_per_rack=p.hosts_per_rack,
+        base_octet=_zone_base_octet(zone_index),
+    )
+    provider = PublicCloud(sim, name=f"{zname}-ec2", params=dc_params)
+    # Spread the active tier across hosts so each VM gets its own uplink;
+    # the micros pack in afterwards like any multi-tenant plant.
+    provider.placement = SpreadPlacement()
+    internet = Internet(sim, name=f"{zname}-inet")
+    provider.datacenter.attach_gateway(
+        internet.router,
+        gateway_addr=ipv4(f"203.0.{100 + zone_index}.2"),
+        core_addr=ipv4(f"203.0.{100 + zone_index}.1"),
+        delay_s=CLOUD_WAN_DELAY,
+    )
+
+    tenant = Tenant(f"webshop-{zname}")
+    web_vms = [
+        provider.launch(tenant, "m1.large", name=f"{zname}-web{i}")
+        for i in range(p.n_web)
+    ]
+    db_vm = provider.launch(tenant, "c1.xlarge", name=f"{zname}-db")
+    media_vm = provider.launch(tenant, "c1.xlarge", name=f"{zname}-media")
+    for t in range(p.n_filler_vms):
+        filler = Tenant(f"{zname}-filler{t % 8}")
+        provider.launch(filler, "t1.micro", name=f"{zname}-idle{t}")
+
+    stats = ZoneStats()
+
+    # --- stacks and services ------------------------------------------------
+    web_tcp = {vm.name: TcpStack(vm) for vm in web_vms}
+    db_tcp = TcpStack(db_vm)
+    media_tcp = TcpStack(media_vm)
+    DbServer(
+        db_vm, db_tcp, DB_PORT, rubis_tables(),
+        rng=zrngs.stream("db-service"),
+    )
+    for vm in web_vms:
+        RubisWebServer(
+            vm, web_tcp[vm.name], WEB_PORT,
+            db_addr=db_vm.primary_address, db_port=DB_PORT,
+            rng=zrngs.stream(f"web-{vm.name}"),
+        )
+    media_listener = media_tcp.listen(
+        MEDIA_PORT, fluid=p.fluid, fluid_flow_guard=False
+    )
+    sim.process(
+        _media_accept_loop(sim, stats, media_listener, p),
+        name=f"{zname}-media-accept",
+    )
+
+    # --- the load balancer --------------------------------------------------
+    lb_node = Node(sim, f"{zname}-lb", cpu_cores=8)
+    frontend_addr = ipv4(f"198.51.{zone_index}.10")
+    internet.attach(lb_node, frontend_addr, delay_s=LB_WAN_DELAY)
+    lb_tcp = TcpStack(lb_node)
+    backends = [
+        Backend(addr=vm.primary_address, port=WEB_PORT, use_tls=False)
+        for vm in web_vms
+    ]
+    ReverseProxy(
+        lb_node, lb_tcp, FRONTEND_PORT, backends,
+        rng=zrngs.stream("proxy"), algorithm="round-robin",
+        backend_keepalive=True,
+    )
+
+    # --- consumers: one node per closed-loop client -------------------------
+    client_base = ipv4(f"192.{100 + zone_index}.0.0").value
+    client_nodes = []
+    media_addr = media_vm.primary_address
+    for c in range(p.n_clients):
+        cnode = Node(sim, f"{zname}-c{c}", cpu_cores=2)
+        internet.attach(
+            cnode, IPAddress(4, client_base + 256 + c), delay_s=CLIENT_WAN_DELAY
+        )
+        client_nodes.append(cnode)
+        sim.process(
+            _client_loop(
+                sim, stats, TcpStack(cnode), frontend_addr, media_addr,
+                zrngs.stream(f"client-{c}"), p,
+            ),
+            name=f"{zname}-client{c}",
+        )
+
+    return Zone(
+        name=zname, index=zone_index, provider=provider, internet=internet,
+        lb_node=lb_node, client_nodes=client_nodes, web_vms=web_vms,
+        db_vm=db_vm, media_vm=media_vm, stats=stats,
+    )
+
+
+# --------------------------------------------------------------- media tier --
+
+
+def _media_accept_loop(sim, stats: ZoneStats, listener, p: ScaleParams) -> Generator:
+    while True:
+        conn = yield listener.accept()
+        sim.process(_media_serve(stats, conn, p), name="media-serve")
+
+
+def _media_serve(stats: ZoneStats, conn, p: ScaleParams) -> Generator:
+    """Read the one-line request, push the blob, wait for the client's FIN."""
+    try:
+        request = yield conn.rx.get()
+        if request:
+            conn.write(VirtualPayload(p.media_bytes, tag="media"))
+            while True:
+                chunk = yield conn.rx.get()
+                if not chunk:
+                    break
+        conn.close()
+    except TcpError:
+        pass
+    stats.fluid_bytes += conn.fluid_bytes
+    stats.fluid_enters += conn.fluid_enters
+    stats.fluid_exits += conn.fluid_exits
+
+
+# ---------------------------------------------------------------- consumers --
+
+
+def _client_loop(
+    sim, stats: ZoneStats, tcp: TcpStack, frontend_addr, media_addr,
+    rng, p: ScaleParams,
+) -> Generator:
+    # Desynchronised start so a zone's clients don't march in phase.
+    yield sim.timeout(rng.random() * 0.2)
+    while True:
+        try:
+            conn = yield from tcp.open_connection(frontend_addr, FRONTEND_PORT)
+        except TcpError:
+            stats.errors += 1
+            yield sim.timeout(0.2)
+            continue
+        stream = PlainStream(conn)
+        reader = BufferedReader(stream)
+        try:
+            while True:
+                rt = pick_scale_request(rng)
+                request = HttpRequest(
+                    "GET", request_path(rt, rng), headers={"Host": "rubis"}
+                )
+                yield from write_request(stream, request)
+                response = yield from read_response(reader)
+                if response.status == 200:
+                    stats.api_sessions += 1
+                else:
+                    stats.errors += 1
+                if rng.random() < p.media_prob:
+                    yield from _fetch_media(sim, stats, tcp, media_addr, p)
+                if p.think_time > 0.0:
+                    yield sim.timeout(rng.expovariate(1.0 / p.think_time))
+        except (TcpError, StreamClosed, HttpError):
+            stats.errors += 1
+            conn.abort()
+            yield sim.timeout(0.1)
+
+
+def _fetch_media(sim, stats: ZoneStats, tcp: TcpStack, media_addr, p) -> Generator:
+    try:
+        conn = yield from tcp.open_connection(
+            media_addr, MEDIA_PORT, recv_window=p.media_window
+        )
+    except TcpError:
+        stats.errors += 1
+        return
+    try:
+        conn.write(b"GET /media HTTP/1.0\r\n\r\n")
+        got = 0
+        while got < p.media_bytes:
+            chunk = yield conn.rx.get()
+            if not chunk:
+                stats.errors += 1
+                conn.abort()
+                return
+            got += len(chunk)
+        # Count on delivery, before teardown: the server tallies its fluid
+        # counters on our FIN, so counting after the close handshake would
+        # leave the last transfer of a run in one tally but not the other.
+        stats.media_sessions += 1
+        stats.media_bytes += got
+        conn.close()
+        while True:  # drain to EOF so both FINs complete the teardown
+            chunk = yield conn.rx.get()
+            if not chunk:
+                break
+    except TcpError:
+        stats.errors += 1
+        return
+
+
+# --------------------------------------------------------- cross-zone links --
+
+
+def _heartbeat_tx(sim, stats: ZoneStats, sock, peers: dict[int, IPAddress],
+                  interval: float) -> Generator:
+    beat = 0
+    while True:
+        yield sim.timeout(interval)
+        beat += 1
+        payload = b"hb:%d" % beat
+        for j in sorted(peers):
+            sock.sendto(payload, peers[j], HEARTBEAT_PORT)
+            stats.heartbeats_sent += 1
+
+
+def _heartbeat_rx(stats: ZoneStats, sock) -> Generator:
+    while True:
+        yield sock.recvfrom()
+        stats.heartbeats_recv += 1
+
+
+def _start_heartbeats(sim, zname: str, stats: ZoneStats, border: Node,
+                      peers: dict[int, IPAddress], p: ScaleParams) -> None:
+    sock = UdpStack(border).bind(HEARTBEAT_PORT)
+    sim.process(
+        _heartbeat_tx(sim, stats, sock, peers, p.heartbeat_interval),
+        name=f"{zname}-hb-tx",
+    )
+    sim.process(_heartbeat_rx(stats, sock), name=f"{zname}-hb-rx")
+
+
+# ----------------------------------------------------------------- builders --
+
+
+def build_scale_zone(shard, zone_index: int, n_zones: int,
+                     params: ScaleParams | None = None) -> Zone:
+    """Shard builder (module-level, hence picklable for process workers)."""
+    p = params or ScaleParams()
+    sim = shard.sim
+    zone = _build_zone(sim, shard.rngs, zone_index, p)
+    border = zone.internet.router
+    peers: dict[int, IPAddress] = {}
+    for j in _ring_neighbors(zone_index, n_zones):
+        my_addr, peer_addr = _cross_link_addrs(zone_index, j)
+        iface = wire_cross_shard(
+            shard, border, my_addr,
+            out_port=f"x:z{zone_index}->z{j}", in_port=f"x:z{j}->z{zone_index}",
+            dst_shard=f"z{j}", bandwidth_bps=p.inter_zone_bps,
+            delay_s=p.inter_zone_delay,
+        )
+        border.routes.add(Prefix(peer_addr, 32), iface)
+        peers[j] = peer_addr
+    if peers:
+        _start_heartbeats(sim, zone.name, zone.stats, border, peers, p)
+    shard.result_fn = zone.stats.as_dict
+    return zone
+
+
+def scale_builders(p: ScaleParams) -> dict:
+    """The ``ShardedSimulation`` builder map for a scale run."""
+    return {
+        f"z{i}": (build_scale_zone, {"zone_index": i, "n_zones": p.n_zones,
+                                     "params": p})
+        for i in range(p.n_zones)
+    }
+
+
+def build_scale_monolithic(
+    seed: int, p: ScaleParams, fast_path: bool | None = None
+) -> tuple[Simulator, list[Zone]]:
+    """The single-heap twin: same zones, same RNG namespaces, real wires.
+
+    Used as the speedup baseline (with ``fluid=False``) and as the timing
+    reference the sharded build must reproduce bit-identically.
+    """
+    sim = Simulator(fast_path=fast_path)
+    root = RngStreams(seed)
+    zones = [
+        _build_zone(sim, root.spawn(f"shard:z{i}"), i, p)
+        for i in range(p.n_zones)
+    ]
+    linked: set[tuple[int, int]] = set()
+    peer_map: dict[int, dict[int, IPAddress]] = {i: {} for i in range(p.n_zones)}
+    for i in range(p.n_zones):
+        for j in _ring_neighbors(i, p.n_zones):
+            pair = (min(i, j), max(i, j))
+            if pair in linked:
+                continue
+            linked.add(pair)
+            a, b = pair
+            addr_a, addr_b = _cross_link_addrs(a, b)
+            iface_a, iface_b, _ = wire(
+                sim, zones[a].internet.router, zones[b].internet.router,
+                addr_a=addr_a, addr_b=addr_b,
+                bandwidth_bps=p.inter_zone_bps, delay_s=p.inter_zone_delay,
+            )
+            zones[a].internet.router.routes.add(Prefix(addr_b, 32), iface_a)
+            zones[b].internet.router.routes.add(Prefix(addr_a, 32), iface_b)
+            peer_map[a][b] = addr_b
+            peer_map[b][a] = addr_a
+    for i, zone in enumerate(zones):
+        if peer_map[i]:
+            _start_heartbeats(
+                sim, zone.name, zone.stats, zone.internet.router, peer_map[i], p
+            )
+    return sim, zones

@@ -121,6 +121,12 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = 0
         self._fast = DEFAULT_FAST_PATH if fast_path is None else bool(fast_path)
+        #: Sim-scoped service registry.  Subsystems that would otherwise need
+        #: process-global state (the TCP fluid-mode peer directory, its id
+        #: counter) hang it off the owning simulator here, so two simulators
+        #: in one process — or one shard per worker process — never share or
+        #: interleave counters.
+        self.services: dict[str, Any] = {}
         self._active_process: Process | None = None
         self._crashed: list[tuple[Process, BaseException]] = []
         # Live processes in creation order (pid -> Process), pruned on

@@ -1,0 +1,538 @@
+"""Sharded simulation with conservative-lookahead synchronization.
+
+Partitions a topology into :class:`Shard` workers — one event heap (and
+optionally one OS process) per availability zone / tenant group — and runs
+them in lock-step windows of ``lookahead`` simulated seconds.  The classic
+conservative (Chandy–Misra style) argument applies: an inter-shard link's
+propagation delay bounds how soon one shard can affect another, so as long
+as every cross-shard link's delay is at least the window size, each shard
+can run a full window without ever receiving a message "from the past".
+
+Cross-shard links are modeled by :class:`ShardPortal` — the egress half of a
+point-to-point link whose far interface lives in another shard.  The portal
+replicates :class:`~repro.net.link.LinkEndpoint` fast-path float arithmetic
+exactly (serialize at the head-of-line, then propagate), so a topology split
+across shards produces bit-identical timestamps to the same topology wired
+with in-process links.  Transmitted packets become :class:`Envelope` records;
+at each window barrier the coordinator routes them to their destination
+shards, which inject them as ``call_at(arrival, iface.receive, packet)``
+timers in a canonical global order ``(arrival, src_shard, seq)`` — the
+determinism contract that makes the multiprocessing run bit-identical to the
+inline run, refereed by :attr:`ShardedSimulation.boundary_digest`.
+
+Determinism rules for shard authors:
+
+* every shard derives its randomness from its own namespace —
+  ``RngStreams(seed).spawn(f"shard:{name}")`` — so shard-local draw order
+  cannot perturb other shards;
+* builders must not touch process-global mutable state that influences
+  packet contents (the ``Packet.packet_id`` debug counter is explicitly
+  excluded from boundary digests for this reason);
+* cross-shard traffic must be picklable (plain headers + bytes/virtual
+  payloads), which the RUBiS scenario's zone heartbeats satisfy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.net.link import WIRE_TAPS, _TX_BYTES, _TX_PACKETS
+from repro.net.packet import Packet, VirtualPayload
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Interface
+
+
+class ShardError(Exception):
+    """Configuration or synchronization-contract violation."""
+
+
+class LookaheadError(ShardError):
+    """A cross-shard link's delay is shorter than the lookahead window."""
+
+
+@dataclass
+class Envelope:
+    """One packet crossing a shard boundary.
+
+    ``arrival`` is the absolute simulated time the far interface receives
+    the packet — computed entirely on the sending side so the destination
+    shard replays the exact link timing.  ``seq`` is the per-shard send
+    counter; together with ``src_index`` it totally orders same-timestamp
+    arrivals across shards.
+    """
+
+    arrival: float
+    src_shard: str
+    src_index: int
+    seq: int
+    dst_shard: str
+    port_id: str
+    packet: Packet
+
+
+def _canon_payload(payload: Any) -> Any:
+    """Canonical, ``packet_id``-free structural form of a packet payload.
+
+    ``repr(packet)`` is unusable for digests: tunneled payloads (ESP
+    ciphertext, VPN records) embed inner :class:`Packet` objects whose
+    ``packet_id`` is a process-global debug counter that differs between an
+    inline run and a forked worker.  Recurse structurally instead.
+    """
+    if isinstance(payload, Packet):
+        return (
+            "pkt",
+            tuple(repr(h) for h in payload.headers),
+            _canon_payload(payload.payload),
+            tuple(sorted((k, repr(v)) for k, v in payload.meta.items())),
+        )
+    if isinstance(payload, VirtualPayload):
+        return ("vp", payload.size, payload.tag)
+    if isinstance(payload, (bytes, bytearray)):
+        return ("b", hashlib.sha256(bytes(payload)).hexdigest())
+    inner = getattr(payload, "inner", None)
+    if isinstance(inner, Packet):  # EspCiphertext and friends
+        return (type(payload).__name__, _canon_payload(inner), len(payload))
+    return (type(payload).__name__, len(payload) if hasattr(payload, "__len__") else 0)
+
+
+def canonical_envelope(env: Envelope) -> bytes:
+    """Stable byte form of an envelope for boundary digests."""
+    packet = env.packet
+    form = (
+        round(env.arrival, 12),
+        env.src_shard,
+        env.seq,
+        env.dst_shard,
+        env.port_id,
+        tuple(repr(h) for h in packet.headers),
+        _canon_payload(packet.payload),
+        tuple(sorted((k, repr(v)) for k, v in packet.meta.items())),
+    )
+    return repr(form).encode()
+
+
+class ShardPortal:
+    """Egress half of a cross-shard link (the far interface is remote).
+
+    Mirrors the :class:`~repro.net.link.LinkEndpoint` fast path's float
+    arithmetic: a packet arriving to an idle serializer starts transmitting
+    at ``now``, a queued packet starts exactly when the previous
+    transmission completes, and delivery is transmission-complete plus the
+    propagation delay.  Each addition is performed separately (start + ser,
+    then + delay) so the computed arrival is the same float an in-process
+    link would produce.
+    """
+
+    def __init__(
+        self,
+        shard: "Shard",
+        port_id: str,
+        dst_shard: str,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int = 256,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s <= 0:
+            raise LookaheadError(
+                f"cross-shard link {port_id!r} needs positive delay "
+                "(the delay is the lookahead window)"
+            )
+        self.shard = shard
+        self.sim = shard.sim
+        self.port_id = port_id
+        self.dst_shard = dst_shard
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue_packets = queue_packets
+        #: Serializer state: when the current back-to-back burst finishes.
+        self._busy_until = 0.0
+        #: Start times of accepted-but-not-yet-serializing packets; pruned
+        #: lazily to compute queue occupancy for drop-tail decisions.
+        self._pending_starts: list[float] = []
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped = 0
+        self.out: list[Envelope] = []
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue for transmission toward the remote shard."""
+        if WIRE_TAPS:
+            for tap in WIRE_TAPS:
+                tap(packet)
+        now = self.sim.now
+        if self._busy_until > now:
+            starts = self._pending_starts
+            if starts and starts[0] <= now:
+                self._pending_starts = starts = [s for s in starts if s > now]
+            if len(starts) >= self.queue_packets:
+                self.dropped += 1
+                return False
+            start = self._busy_until
+            starts.append(start)
+        else:
+            start = now
+        size = len(packet.payload)
+        for header in packet.headers:
+            size += header.header_len
+        done = start + size * 8.0 / self.bandwidth_bps
+        arrival = done + self.delay_s
+        self._busy_until = done
+        self.tx_packets += 1
+        self.tx_bytes += size
+        _TX_PACKETS.value += 1
+        _TX_BYTES.value += size
+        self.shard._env_seq += 1
+        self.out.append(
+            Envelope(
+                arrival=arrival,
+                src_shard=self.shard.name,
+                src_index=self.shard.index,
+                seq=self.shard._env_seq,
+                dst_shard=self.dst_shard,
+                port_id=self.port_id,
+                packet=packet,
+            )
+        )
+        return True
+
+    def account_fluid(self, n_bytes: int, n_segments: int) -> None:
+        """Match :meth:`LinkEndpoint.account_fluid` for fluid-mode charging."""
+        self.tx_packets += n_segments
+        self.tx_bytes += n_bytes
+        _TX_PACKETS.value += n_segments
+        _TX_BYTES.value += n_bytes
+
+    def flush_stats(self) -> None:  # counters are unbatched here
+        return None
+
+
+class Shard:
+    """One partition: its own simulator, RNG namespace, and boundary ports."""
+
+    def __init__(
+        self, name: str, index: int, seed: int, fast_path: bool | None = None
+    ) -> None:
+        self.name = name
+        self.index = index
+        self.sim = Simulator(fast_path=fast_path)
+        #: Per-shard RNG namespace: draw order inside one shard can never
+        #: perturb another shard's streams.
+        self.rngs = RngStreams(seed).spawn(f"shard:{name}")
+        self.portals: dict[str, ShardPortal] = {}
+        self.ingress: dict[str, "Interface"] = {}
+        self._env_seq = 0
+        self.result_fn: Callable[[], Any] | None = None
+
+    def open_egress(
+        self,
+        port_id: str,
+        dst_shard: str,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int = 256,
+    ) -> ShardPortal:
+        """Create the local egress half of a cross-shard link."""
+        if port_id in self.portals:
+            raise ShardError(f"duplicate egress port {port_id!r} in shard {self.name!r}")
+        portal = ShardPortal(
+            self, port_id, dst_shard, bandwidth_bps, delay_s, queue_packets
+        )
+        self.portals[port_id] = portal
+        return portal
+
+    def open_ingress(self, port_id: str, iface: "Interface") -> None:
+        """Register ``iface`` as the landing point for a remote egress port."""
+        if port_id in self.ingress:
+            raise ShardError(f"duplicate ingress port {port_id!r} in shard {self.name!r}")
+        self.ingress[port_id] = iface
+
+    def ports(self) -> dict[str, Any]:
+        """Boundary description the coordinator pairs and validates."""
+        return {
+            "egress": {
+                pid: (p.dst_shard, p.delay_s) for pid, p in self.portals.items()
+            },
+            "ingress": sorted(self.ingress),
+        }
+
+    def inject(self, envelopes: list[Envelope]) -> None:
+        """Schedule arrivals from other shards (already globally ordered)."""
+        now = self.sim.now
+        for env in envelopes:
+            if env.arrival < now:
+                raise ShardError(
+                    f"lookahead violated: envelope for {env.port_id!r} arrives at "
+                    f"{env.arrival} but shard {self.name!r} is at {now}"
+                )
+            iface = self.ingress.get(env.port_id)
+            if iface is None:
+                raise ShardError(
+                    f"shard {self.name!r} has no ingress port {env.port_id!r}"
+                )
+            self.sim.call_at(env.arrival, iface.receive, env.packet)
+
+    def advance(self, window_end: float) -> tuple[list[Envelope], float]:
+        """Run this shard's clock to ``window_end``; return boundary traffic.
+
+        Returns ``(envelopes, peek)`` where ``peek`` is the next local event
+        time (``inf`` when idle) — the coordinator's early-stop hint; stale
+        cancelled timers may inflate it, so correctness never depends on it.
+        """
+        self.sim.run(until=window_end)
+        out: list[Envelope] = []
+        for pid in sorted(self.portals):
+            portal = self.portals[pid]
+            if portal.out:
+                out.extend(portal.out)
+                portal.out = []
+        out.sort(key=lambda e: (e.arrival, e.seq))
+        return out, self.sim.peek()
+
+    def finish(self) -> Any:
+        result = self.result_fn() if self.result_fn is not None else None
+        self.sim.close()
+        return result
+
+
+# ----------------------------------------------------------------- workers --
+
+Builder = Callable[..., None]
+
+
+class _InlineWorker:
+    """Runs a shard on the coordinator's own event loop (no parallelism)."""
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        seed: int,
+        fast_path: bool | None,
+        builder: Builder,
+        kwargs: dict[str, Any],
+    ) -> None:
+        self.shard = Shard(name, index, seed, fast_path=fast_path)
+        builder(self.shard, **kwargs)
+
+    def ports(self) -> dict[str, Any]:
+        return self.shard.ports()
+
+    def window(
+        self, window_end: float, envelopes: list[Envelope]
+    ) -> tuple[list[Envelope], float]:
+        self.shard.inject(envelopes)
+        return self.shard.advance(window_end)
+
+    def finish(self) -> Any:
+        return self.shard.finish()
+
+    def stop(self) -> None:
+        return None
+
+
+def _worker_main(
+    conn,
+    name: str,
+    index: int,
+    seed: int,
+    fast_path: bool | None,
+    builder: Builder,
+    kwargs: dict[str, Any],
+) -> None:
+    """Child-process loop: build the shard locally, then serve commands."""
+    try:
+        shard = Shard(name, index, seed, fast_path=fast_path)
+        builder(shard, **kwargs)
+        conn.send(("ok", shard.ports()))
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except EOFError:
+            return
+        try:
+            if cmd == "window":
+                window_end, envelopes = payload
+                shard.inject(envelopes)
+                conn.send(("ok", shard.advance(window_end)))
+            elif cmd == "finish":
+                conn.send(("ok", shard.finish()))
+            elif cmd == "stop":
+                return
+            else:  # pragma: no cover - protocol bug
+                conn.send(("error", f"unknown command {cmd!r}"))
+        except BaseException as exc:  # noqa: BLE001
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            return
+
+
+class _ProcessWorker:
+    """Runs a shard in a forked child, speaking a tiny pipe protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        seed: int,
+        fast_path: bool | None,
+        builder: Builder,
+        kwargs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, name, index, seed, fast_path, builder, kwargs),
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        self._ports = self._recv()
+
+    def _recv(self) -> Any:
+        status, payload = self._conn.recv()
+        if status != "ok":
+            raise ShardError(f"shard {self.name!r} worker failed: {payload}")
+        return payload
+
+    def ports(self) -> dict[str, Any]:
+        return self._ports
+
+    def window(
+        self, window_end: float, envelopes: list[Envelope]
+    ) -> tuple[list[Envelope], float]:
+        self._conn.send(("window", (window_end, envelopes)))
+        return self._recv()
+
+    def finish(self) -> Any:
+        self._conn.send(("finish", None))
+        return self._recv()
+
+    def stop(self) -> None:
+        try:
+            self._conn.send(("stop", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - hung child
+            self._proc.terminate()
+        self._conn.close()
+
+
+# ------------------------------------------------------------- coordinator --
+
+
+class ShardedSimulation:
+    """Coordinator: windowed conservative-lookahead barrier over shards.
+
+    ``builders`` maps shard name -> ``(builder, kwargs)``.  Each builder is a
+    module-level callable ``builder(shard, **kwargs)`` (it must be picklable
+    for ``parallel=True``) that wires its partition inside ``shard.sim``,
+    opens boundary ports, and sets ``shard.result_fn``.
+    """
+
+    def __init__(
+        self,
+        builders: dict[str, tuple[Builder, dict[str, Any]]],
+        seed: int,
+        lookahead: float | None = None,
+        parallel: bool = False,
+        fast_path: bool | None = None,
+    ) -> None:
+        if not builders:
+            raise ShardError("no shards")
+        self.seed = seed
+        self.parallel = parallel
+        self.windows = 0
+        self.envelopes_routed = 0
+        self._digest = hashlib.sha256()
+        worker_cls = _ProcessWorker if parallel else _InlineWorker
+        self.workers: dict[str, Any] = {}
+        for index, (name, (builder, kwargs)) in enumerate(sorted(builders.items())):
+            self.workers[name] = worker_cls(
+                name, index, seed, fast_path, builder, kwargs
+            )
+        self._validate_ports(lookahead)
+        self.results: dict[str, Any] = {}
+
+    def _validate_ports(self, lookahead: float | None) -> None:
+        ports = {name: w.ports() for name, w in self.workers.items()}
+        delays: list[float] = []
+        for name, desc in ports.items():
+            for pid, (dst, delay) in desc["egress"].items():
+                if dst not in ports:
+                    raise ShardError(
+                        f"egress {pid!r} in shard {name!r} targets unknown shard {dst!r}"
+                    )
+                if pid not in ports[dst]["ingress"]:
+                    raise ShardError(
+                        f"egress {pid!r} in shard {name!r} has no ingress in {dst!r}"
+                    )
+                delays.append(delay)
+        min_delay = min(delays) if delays else float("inf")
+        if lookahead is None:
+            lookahead = min_delay if delays else 1.0
+        if lookahead <= 0:
+            raise LookaheadError(f"lookahead must be positive, got {lookahead}")
+        if lookahead > min_delay:
+            raise LookaheadError(
+                f"lookahead {lookahead} exceeds the shortest cross-shard "
+                f"link delay {min_delay}"
+            )
+        self.lookahead = lookahead
+
+    @property
+    def boundary_digest(self) -> str:
+        """SHA-256 over every envelope routed so far, in global order."""
+        return self._digest.hexdigest()
+
+    def run(self, until: float) -> dict[str, Any]:
+        """Advance all shards to ``until`` in lookahead-sized windows."""
+        workers = self.workers
+        pending: dict[str, list[Envelope]] = {name: [] for name in workers}
+        t = 0.0
+        while t < until:
+            window_end = min(t + self.lookahead, until)
+            outs: list[Envelope] = []
+            peeks: list[float] = []
+            for name in workers:
+                sent, peek = workers[name].window(window_end, pending[name])
+                pending[name] = []
+                outs.extend(sent)
+                peeks.append(peek)
+            self.windows += 1
+            if outs:
+                # Canonical global order: arrival time, then source shard,
+                # then per-source send order.  Destination shards schedule
+                # injections in this order, so timer sequence numbers — and
+                # therefore same-timestamp tie-breaks — are reproducible.
+                outs.sort(key=lambda e: (e.arrival, e.src_index, e.seq))
+                digest = self._digest
+                for env in outs:
+                    if env.arrival < window_end:
+                        raise LookaheadError(
+                            f"envelope from {env.src_shard!r} arrives at "
+                            f"{env.arrival}, inside the window ending {window_end}"
+                        )
+                    digest.update(canonical_envelope(env))
+                    pending[env.dst_shard].append(env)
+                self.envelopes_routed += len(outs)
+            t = window_end
+            if not outs and all(p == float("inf") for p in peeks):
+                break  # every shard idle and nothing in flight: done early
+        self.results = {name: workers[name].finish() for name in workers}
+        for worker in workers.values():
+            worker.stop()
+        return self.results

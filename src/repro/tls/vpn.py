@@ -117,6 +117,7 @@ class SslVpnDaemon:
         node.routes.add(VPN_SUBNET, iface)
         node.add_output_shim(self._output_shim)
         node.register_protocol("sslvpn", self._on_packet)
+        node.fluid_taxers.append(self._fluid_taxer)
 
         # peer vpn address -> (locator, peer public key)
         self.peers: dict[IPAddress, tuple[IPAddress, object]] = {}
@@ -218,7 +219,36 @@ class SslVpnDaemon:
             if self.charge_costs:
                 yield from self.node.cpu_work(cost)
             self.packets_received += 1
-            self.node._on_receive(self._rebuild_inner(inner, peer_vpn), None)
+            delivered = self._rebuild_inner(inner, peer_vpn)
+            if packet.meta.get("ce"):
+                # RFC 6040 decapsulation: copy a CE mark from the outer VPN
+                # record to the inner packet so the tunneled flow reacts.
+                delivered = delivered.with_meta(ce=True)
+            self.node._on_receive(delivered, None)
+
+    def _fluid_taxer(
+        self, peer_addr: IPAddress, n_bytes: int, n_segments: int, direction: str
+    ) -> None:
+        """Charge TLS record costs for TCP fluid fast-forwarded bytes.
+
+        Mirrors the per-packet ``vpn.record.*`` accounting for segments a
+        fluid flow never emits; busy-seconds are tallied without occupying
+        the CPU slot since the fluid rate subsumes the elapsed time.
+        """
+        if n_segments <= 0:
+            return
+        if not VPN_SUBNET.contains(peer_addr) or peer_addr == self.vpn_addr:
+            return  # not a tunneled flow
+        cm = self.node.cost_model
+        cost = cm.tls_record_cost(n_bytes // n_segments) * n_segments
+        if direction == "out":
+            self.meter.charge("vpn.record.out", cost)
+            self.packets_sent += n_segments
+        else:
+            self.meter.charge("vpn.record.in", cost)
+            self.packets_received += n_segments
+        if self.charge_costs:
+            self.node.cpu_busy_seconds += cost
 
     def _rebuild_inner(self, inner: Packet, peer_vpn: IPAddress) -> Packet:
         if inner.headers and isinstance(inner.outer, IPHeader):
@@ -266,6 +296,10 @@ class SslVpnDaemon:
                 f"(expected from {', '.join(expect_from)})"
             )
         tunnel.state = state
+        if state in (TunnelState.ESTABLISHED, TunnelState.FAILED):
+            # Keying change on this node's dataplane: any TCP flow in fluid
+            # fast-forward must drop back to packets and re-qualify.
+            self.node.dataplane_epoch += 1
 
     def _fail(self, tunnel: Tunnel, error: Exception) -> None:
         self._transition(

@@ -113,6 +113,69 @@ def paced_ecn_scenario():
     sim.close()
 
 
+def fluid_bulk_scenario():
+    """Bulk transfer through the fluid fast-forward, including a forced
+    mid-flight disturbance (competing flow) and re-entry: the probe,
+    enter, exit and re-enter events — and every segment around them —
+    must trace identically in both engine modes."""
+    from repro.net.packet import VirtualPayload
+    from repro.net.tcp import TcpStack
+    from repro.net.topology import lan_pair
+    from repro.sim.engine import Simulator
+
+    n_bytes = 2_000_000
+    sim = Simulator()
+    node_a, node_b = lan_pair(sim, delay_s=0.02)
+    tcp_a, tcp_b = TcpStack(node_a), TcpStack(node_b)
+    listener = tcp_b.listen(5001, fluid=True)
+
+    def server():
+        conn = yield listener.accept()
+        yield conn.rx.get()
+        conn.write(VirtualPayload(n_bytes, tag="bulk"))
+        while True:
+            chunk = yield conn.rx.get()
+            if not chunk:
+                break
+        conn.close()
+        assert conn.fluid_enters >= 2  # disturbed once, re-entered
+
+    def client():
+        conn = yield sim.process(
+            tcp_a.open_connection(node_b.addresses()[0], 5001, recv_window=65536)
+        )
+        conn.write(b"go")
+        got = 0
+        while got < n_bytes:
+            chunk = yield conn.rx.get()
+            got += len(chunk)
+        conn.close()
+        while True:
+            chunk = yield conn.rx.get()
+            if not chunk:
+                break
+
+    def competing():
+        yield sim.timeout(0.6)
+        side = tcp_b.listen(5002)
+
+        def sink():
+            conn2 = yield side.accept()
+            yield conn2.rx.get()
+
+        sim.process(sink())
+        conn2 = yield sim.process(
+            tcp_a.open_connection(node_b.addresses()[0], 5002)
+        )
+        conn2.write(b"disturbance")
+
+    sim.process(server())
+    sim.process(client())
+    sim.process(competing())
+    sim.run(until=60)
+    sim.close()
+
+
 def rubis_scenario():
     from repro.apps.workload import ClosedLoopClients
     from repro.scenarios.rubis_cloud import FRONTEND_PORT, build_rubis_cloud
@@ -157,6 +220,15 @@ def test_paced_ecn_trace_digest_equal_across_modes(each_mode):
     assert runs[False].n_events == runs[True].n_events
     assert runs[False].digest == runs[True].digest
     assert runs[False].n_events > 500  # marks, reductions and tx all traced
+
+
+def test_fluid_trace_digest_equal_across_modes(each_mode):
+    """Fluid enter/exit/re-enter (probe, jump, disturbance) digests
+    identically on the fast path and the reference engine."""
+    runs = each_mode(fluid_bulk_scenario)
+    assert runs[False].n_events == runs[True].n_events
+    assert runs[False].digest == runs[True].digest
+    assert runs[False].n_events > 500
 
 
 def test_iperf_fast_mode_replay_deterministic():

@@ -1,0 +1,175 @@
+"""Sharded simulation: lookahead validation, envelope routing, determinism.
+
+The conservative-lookahead contract: inline workers, process workers and the
+reference engine must all route the identical envelope stream (refereed by
+``ShardedSimulation.boundary_digest``) and produce identical per-shard
+results — and those results must match the monolithic single-heap twin of
+the same topology.
+"""
+
+import pytest
+
+from repro.net.addresses import Prefix, ipv4
+from repro.net.node import Node
+from repro.net.topology import wire_cross_shard
+from repro.net.udp import UdpStack
+from repro.sim.shard import LookaheadError, ShardedSimulation, ShardError
+
+LEFT_ADDR = ipv4("10.7.0.1")
+RIGHT_ADDR = ipv4("10.7.0.2")
+CROSS_DELAY = 2e-3
+ECHO_PORT = 7000
+
+
+def build_left(shard, n_packets=20, delay_s=CROSS_DELAY, dst_shard="right"):
+    """Sender shard: jittered UDP pings across the portal, counts echoes."""
+    sim = shard.sim
+    node = Node(sim, "left")
+    iface = wire_cross_shard(
+        shard, node, LEFT_ADDR, out_port="l->r", in_port="r->l",
+        dst_shard=dst_shard, delay_s=delay_s,
+    )
+    node.routes.add(Prefix(RIGHT_ADDR, 32), iface)
+    sock = UdpStack(node).bind(ECHO_PORT)
+    rng = shard.rngs.stream("tx")
+    stats = {"sent": 0, "echoed": 0}
+
+    def tx():
+        for i in range(n_packets):
+            yield sim.timeout(rng.random() * 0.01)
+            sock.sendto(bytes([i % 251]) * 64, RIGHT_ADDR, ECHO_PORT)
+            stats["sent"] += 1
+
+    def rx():
+        while True:
+            yield sock.recvfrom()
+            stats["echoed"] += 1
+
+    sim.process(tx())
+    sim.process(rx())
+    shard.result_fn = lambda: dict(stats)
+
+
+def build_right(shard, delay_s=CROSS_DELAY):
+    """Echo shard: bounces every datagram back through the portal."""
+    sim = shard.sim
+    node = Node(sim, "right")
+    iface = wire_cross_shard(
+        shard, node, RIGHT_ADDR, out_port="r->l", in_port="l->r",
+        dst_shard="left", delay_s=delay_s,
+    )
+    node.routes.add(Prefix(LEFT_ADDR, 32), iface)
+    sock = UdpStack(node).bind(ECHO_PORT)
+    stats = {"received": 0}
+
+    def echo():
+        while True:
+            payload, (src, sport) = yield sock.recvfrom()
+            stats["received"] += 1
+            sock.sendto(payload, src, sport)
+
+    sim.process(echo())
+    shard.result_fn = lambda: dict(stats)
+
+
+def echo_builders(**left_kw):
+    return {
+        "left": (build_left, left_kw),
+        "right": (build_right, {}),
+    }
+
+
+def run_echo(seed=42, until=1.0, **kwargs):
+    sharded = ShardedSimulation(echo_builders(), seed, **kwargs)
+    results = sharded.run(until)
+    return sharded, results
+
+
+def test_echo_across_portal_completes():
+    sharded, results = run_echo()
+    assert results["left"]["sent"] == 20
+    assert results["right"]["received"] == 20
+    assert results["left"]["echoed"] == 20
+    assert sharded.envelopes_routed == 40  # 20 pings + 20 echoes
+    assert sharded.lookahead == CROSS_DELAY
+
+
+def test_process_workers_match_inline():
+    inline, inline_res = run_echo(parallel=False)
+    procs, procs_res = run_echo(parallel=True)
+    assert procs_res == inline_res
+    assert procs.boundary_digest == inline.boundary_digest
+    assert procs.windows == inline.windows
+
+
+def test_reference_engine_matches_fast_path():
+    fast, fast_res = run_echo(fast_path=True)
+    ref, ref_res = run_echo(fast_path=False)
+    assert ref_res == fast_res
+    assert ref.boundary_digest == fast.boundary_digest
+
+
+def test_seed_changes_boundary_digest():
+    a, _ = run_echo(seed=1)
+    b, _ = run_echo(seed=2)
+    assert a.boundary_digest != b.boundary_digest  # jitter differs per seed
+
+
+def test_lookahead_must_not_exceed_link_delay():
+    with pytest.raises(LookaheadError):
+        ShardedSimulation(echo_builders(), 42, lookahead=10 * CROSS_DELAY)
+
+
+def test_lookahead_must_be_positive():
+    with pytest.raises(LookaheadError):
+        ShardedSimulation(echo_builders(), 42, lookahead=0.0)
+
+
+def test_zero_delay_portal_rejected():
+    # A zero-delay cross-shard link leaves no lookahead window at all.
+    with pytest.raises(LookaheadError):
+        ShardedSimulation(echo_builders(delay_s=0.0), 42)
+
+
+def test_egress_to_unknown_shard_rejected():
+    with pytest.raises(ShardError):
+        ShardedSimulation(echo_builders(dst_shard="nowhere"), 42)
+
+
+def test_egress_without_matching_ingress_rejected():
+    builders = {"left": (build_left, {})}  # no "right" shard at all
+    with pytest.raises(ShardError):
+        ShardedSimulation(builders, 42)
+
+
+# --- scale-scenario equivalence ----------------------------------------------
+
+
+def test_scale_scenario_sharded_matches_monolithic():
+    """The RUBiS scale scenario: per-zone stats from the sharded build must
+    equal the monolithic twin's bit-for-bit (same RNG namespaces, same
+    zone-local event order)."""
+    from repro.scenarios.rubis_scale import (
+        ScaleParams,
+        build_scale_monolithic,
+        scale_builders,
+    )
+
+    p = ScaleParams(
+        n_zones=2, n_clients=2, n_web=1, n_filler_vms=2,
+        n_racks=1, hosts_per_rack=2, media_prob=0.25, media_window=65536,
+    )
+    until = 3.0
+    sharded = ShardedSimulation(scale_builders(p), 7)
+    shard_res = sharded.run(until)
+
+    sim, zones = build_scale_monolithic(7, p)
+    sim.run(until=until)
+    mono_res = {z.name: z.stats.as_dict() for z in zones}
+    sim.close()
+
+    assert shard_res == mono_res
+    assert sum(z["sessions"] for z in shard_res.values()) > 0
+    assert sum(z["errors"] for z in shard_res.values()) == 0
+    assert sum(z["heartbeats_recv"] for z in shard_res.values()) > 0
+    assert sharded.envelopes_routed > 0  # heartbeats crossed the boundary
