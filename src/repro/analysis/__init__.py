@@ -12,9 +12,16 @@ This package *enforces* that discipline mechanically:
   (``CONF001``-``CONF003``);
 * :mod:`repro.analysis.taint` — intra-procedural secret-flow analysis for
   the HIP/TLS stacks (``SEC001``/``SEC002``);
+* :mod:`repro.analysis.isolation` — shard-isolation rules: no shared
+  mutable state across shard simulators (``ISO001``-``ISO004``);
+* :mod:`repro.analysis.lifecycle` — leak lints: timers, registries and
+  taps must have a release path (``LIF001``-``LIF003``);
 * :mod:`repro.analysis.wire` — the runtime wire sanitizer: a link-layer
   tap asserting HIP TLV well-formedness and byte-exact parse/serialize
   round-trips on every sent control packet;
+* :mod:`repro.analysis.causality` — the runtime causality sanitizer: a
+  shard-machinery tap asserting happens-before, monotonic scheduling and
+  object ownership while a sharded run executes;
 * :mod:`repro.analysis.runner` — file discovery, suppression handling and
   the ``python -m repro.analysis`` CLI;
 * :mod:`repro.analysis.report` — text and strict-JSON reporters (schema

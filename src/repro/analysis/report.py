@@ -32,6 +32,7 @@ META_RULES = {
     "ANA000": "file failed to parse",
     "ANA001": "suppression comment lacks a `-- justification`",
     "ANA002": "suppression comment matched no finding",
+    "ANA003": "baseline entry matched no finding (stale baseline)",
 }
 
 
@@ -39,6 +40,7 @@ def analysis_json(result) -> dict:
     """JSON-ready report for one :class:`~repro.analysis.runner.AnalysisResult`."""
     active = sorted(result.active)
     suppressed = sorted(result.suppressed)
+    baselined = sorted(getattr(result, "baselined", []))
     counts: dict[str, int] = {}
     for finding in active:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
@@ -48,6 +50,7 @@ def analysis_json(result) -> dict:
         "files": result.files_checked,
         "findings": [f.as_json() for f in active],
         "suppressed": [f.as_json() for f in suppressed],
+        "baselined": [f.as_json() for f in baselined],
         "counts": dict(sorted(counts.items())),
         "clean": not active,
     }
@@ -63,13 +66,19 @@ def render_text(result) -> list[str]:
         lines.append(
             f"{finding.location()}: {finding.rule} suppressed -- {why}"
         )
+    baselined = sorted(getattr(result, "baselined", []))
+    for finding in baselined:
+        lines.append(f"{finding.location()}: {finding.rule} baselined")
     n_active = len(result.active)
     n_sup = len(result.suppressed)
     verdict = "clean" if not n_active else f"{n_active} finding(s)"
-    lines.append(
+    summary = (
         f"repro.analysis: {result.files_checked} file(s), {verdict}, "
         f"{n_sup} suppressed"
     )
+    if baselined:
+        summary += f", {len(baselined)} baselined"
+    lines.append(summary)
     return lines
 
 

@@ -20,11 +20,15 @@ from repro.analysis.findings import Finding, Suppression, parse_suppressions
 from repro.analysis.report import META_RULES, analysis_json, render_text
 
 # Ensure the rule registry is populated before any analysis runs.
+import repro.analysis.isolation  # noqa: F401  (registration side effect)
+import repro.analysis.lifecycle  # noqa: F401  (registration side effect)
 import repro.analysis.rules  # noqa: F401  (registration side effect)
 import repro.analysis.statemachine  # noqa: F401  (registration side effect)
 import repro.analysis.taint  # noqa: F401  (registration side effect)
 
-_HYGIENE_RULES = ("ANA001", "ANA002")
+_HYGIENE_RULES = ("ANA001", "ANA002", "ANA003")
+
+BASELINE_SCHEMA = "repro-analysis-baseline/1"
 
 
 @dataclass
@@ -36,11 +40,15 @@ class AnalysisResult:
 
     @property
     def active(self) -> list[Finding]:
-        return [f for f in self.findings if not f.suppressed]
+        return [f for f in self.findings if not f.suppressed and not f.baselined]
 
     @property
     def suppressed(self) -> list[Finding]:
         return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
 
     def gating(self, strict: bool) -> list[Finding]:
         """Findings that should fail the build."""
@@ -52,6 +60,99 @@ class AnalysisResult:
 
     def extend(self, findings: list[Finding]) -> None:
         self.findings.extend(findings)
+
+    def apply_baseline(
+        self, entries: list[dict], rules: set[str] | None = None
+    ) -> None:
+        """Mark accepted pre-existing findings; report stale entries.
+
+        Each entry matches at most one finding by ``(path, rule, message)``,
+        where the entry path may be a repo-relative suffix of the finding
+        path (so one baseline serves both ``src/...`` and absolute-path
+        invocations).  Line numbers are deliberately ignored — baselines
+        must survive unrelated edits above the finding.  Entries that match
+        nothing become ANA003 findings: a stale baseline hides regressions,
+        so it gates under ``--strict`` exactly like unused suppressions.
+        """
+        pool = [
+            {
+                "path": str(e["path"]).replace("\\", "/"),
+                "rule": str(e["rule"]),
+                "message": str(e["message"]),
+                "count": int(e.get("count", 1)),
+            }
+            for e in entries
+        ]
+        rewritten: list[Finding] = []
+        for finding in self.findings:
+            if not finding.suppressed and finding.rule not in META_RULES:
+                norm = finding.path.replace("\\", "/")
+                entry = next(
+                    (
+                        e
+                        for e in pool
+                        if e["count"] > 0
+                        and e["rule"] == finding.rule
+                        and e["message"] == finding.message
+                        and (norm == e["path"] or norm.endswith("/" + e["path"]))
+                    ),
+                    None,
+                )
+                if entry is not None:
+                    entry["count"] -= 1
+                    rewritten.append(finding.baseline())
+                    continue
+            rewritten.append(finding)
+        self.findings = rewritten
+        for entry in pool:
+            if entry["count"] <= 0:
+                continue
+            if rules is not None and entry["rule"] not in rules:
+                continue  # its rule did not run under this --rules subset
+            self.findings.append(
+                Finding(
+                    path=entry["path"],
+                    line=0,
+                    col=0,
+                    rule="ANA003",
+                    message=(
+                        f"baseline entry for {entry['rule']} "
+                        f"({entry['message'][:60]}...) matched no finding; "
+                        "refresh the baseline"
+                    ),
+                )
+            )
+
+
+def load_baseline(path: str) -> list[dict]:
+    """Parse a ``repro-analysis-baseline/1`` file into match entries."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {data.get('schema')!r}"
+        )
+    entries = data.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'findings' must be a list")
+    return entries
+
+
+def write_baseline(path: str, result: AnalysisResult) -> int:
+    """Accept every current active (non-meta) finding into ``path``."""
+    entries = [
+        {"path": p, "rule": r, "message": m}
+        for p, r, m in sorted(
+            (f.path.replace("\\", "/"), f.rule, f.message)
+            for f in result.active
+            if f.rule not in META_RULES
+        )
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
 
 
 def _apply_suppressions(
@@ -224,6 +325,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print registered rules and exit"
     )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "accept the pre-existing findings listed in FILE "
+            f"(schema {BASELINE_SCHEMA}); they are reported but do not gate. "
+            "Stale entries become ANA003 findings"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help=(
+            "write every current active finding to FILE as a baseline and "
+            "exit 0 (maintenance mode; --baseline is not applied first)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -251,6 +367,18 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     result = analyze_paths(args.paths, rules=selected)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, result)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"--baseline: {exc}", file=sys.stderr)
+            return 2
+        result.apply_baseline(entries, rules=selected)
     if args.format == "json" or args.json:
         print(json.dumps(analysis_json(result), indent=2, sort_keys=True))
     else:

@@ -35,6 +35,87 @@ _ECN_MARKS = METRICS.counter("link.ecn_marks")
 WIRE_TAPS: list[Callable[["Packet"], None]] = []
 
 
+class LinkLedger:
+    """Per-simulator link accounting, owned by the Simulator that the links
+    belong to (``sim.services["link.ledger"]``).
+
+    A plain simulator's ledger *publishes*: every addition writes through to
+    the process-wide ``METRICS`` counters immediately, preserving the
+    established observability contract.  A shard's simulator instead gets a
+    non-publishing ledger (see :class:`repro.sim.shard.Shard`): the shard
+    accumulates locally and the coordinator collects :meth:`take_delta` at
+    every sync window, folding it into the global counters in the parent
+    process via :func:`publish_link_delta`.  That is what makes the totals
+    identical between inline and fork-per-shard workers — a forked child's
+    writes to process globals would otherwise die with the child.
+    """
+
+    FIELDS = ("tx_packets", "tx_bytes", "lost_packets", "queue_drops", "ecn_marks")
+
+    __slots__ = FIELDS + ("publish", "_taken")
+
+    def __init__(self, publish: bool = True) -> None:
+        self.publish = publish
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.lost_packets = 0
+        self.queue_drops = 0
+        self.ecn_marks = 0
+        self._taken = (0, 0, 0, 0, 0)
+
+    def add_tx(self, packets: int, n_bytes: int) -> None:
+        self.tx_packets += packets
+        self.tx_bytes += n_bytes
+        if self.publish:
+            _TX_PACKETS.value += packets
+            _TX_BYTES.value += n_bytes
+
+    def add_lost(self) -> None:
+        self.lost_packets += 1
+        if self.publish:
+            _LOST.value += 1
+
+    def add_queue_drop(self) -> None:
+        self.queue_drops += 1
+        if self.publish:
+            _QUEUE_DROPS.value += 1
+
+    def add_ecn_mark(self) -> None:
+        self.ecn_marks += 1
+        if self.publish:
+            _ECN_MARKS.value += 1
+
+    def take_delta(self) -> tuple[int, int, int, int, int]:
+        """Counts accumulated since the last take (picklable, cheap)."""
+        now = (
+            self.tx_packets,
+            self.tx_bytes,
+            self.lost_packets,
+            self.queue_drops,
+            self.ecn_marks,
+        )
+        taken = self._taken
+        self._taken = now
+        return tuple(a - b for a, b in zip(now, taken))
+
+
+def ledger_of(sim: "Simulator") -> LinkLedger:
+    """The simulator's link ledger (get-or-create; publishing by default)."""
+    ledger = sim.services.get("link.ledger")
+    if ledger is None:
+        ledger = sim.services["link.ledger"] = LinkLedger()
+    return ledger
+
+
+def publish_link_delta(delta: tuple[int, int, int, int, int]) -> None:
+    """Fold a shard ledger delta into the process-global METRICS counters."""
+    _TX_PACKETS.value += delta[0]
+    _TX_BYTES.value += delta[1]
+    _LOST.value += delta[2]
+    _QUEUE_DROPS.value += delta[3]
+    _ECN_MARKS.value += delta[4]
+
+
 #: Flush batched per-endpoint tallies into the global counters at most this
 #: many packets apart while a burst is in flight (idle links always flush).
 _FLUSH_EVERY = 64
@@ -93,6 +174,9 @@ class LinkEndpoint:
         self.ecn_marks = 0
         self.queue = Queue(sim, capacity=queue_packets)
         self.peer: "Interface | None" = None
+        # All global-counter traffic goes through the simulator's ledger so
+        # shard simulators can keep accounting local (see LinkLedger).
+        self._ledger = ledger_of(sim)
         self.tx_packets = 0
         self.tx_bytes = 0
         self.lost_packets = 0
@@ -157,7 +241,7 @@ class LinkEndpoint:
                 self._mark_ce(packet)
             ok = self.queue.try_put(packet)
         if not ok:
-            _QUEUE_DROPS.inc()
+            self._ledger.add_queue_drop()
             if RECORDER.enabled:
                 RECORDER.record(
                     self.sim.now, "link", "queue_drop", bytes=packet.size_bytes,
@@ -177,7 +261,7 @@ class LinkEndpoint:
     def _mark_ce(self, packet: "Packet") -> None:
         packet.meta["ce"] = True
         self.ecn_marks += 1
-        _ECN_MARKS.inc()
+        self._ledger.add_ecn_mark()
         if RECORDER.enabled:
             RECORDER.record(self.sim.now, "link", "ecn_mark")
 
@@ -192,6 +276,7 @@ class LinkEndpoint:
         self._tx_size = size
         timer = self._tx_timer
         if timer is None:
+            # repro: ignore[LIF001] -- serializer timer is rearmed for the link's lifetime; firing after idle is a no-op and links live as long as their sim
             self._tx_timer = self.sim.call_later(
                 size * 8.0 / self.bandwidth_bps, self._tx_done_cb
             )
@@ -201,6 +286,7 @@ class LinkEndpoint:
             # allocating a fresh one per packet.  ``TimerHandle.rearm``
             # inlined (serialize time is always >= 0, so no validation):
             sim = self.sim
+            # repro: ignore[ISO002] -- benchmarked fast-path inlining of TimerHandle.rearm on this link's own simulator (PR 5), not cross-shard state
             sim._seq += 1
             seq = sim._seq
             timer._when = when = sim._now + size * 8.0 / self.bandwidth_bps
@@ -218,7 +304,7 @@ class LinkEndpoint:
             RECORDER.record(self.sim.now, "link", "tx", bytes=size)
         if self.loss_rate and self._lose():
             self.lost_packets += 1
-            _LOST.inc()
+            self._ledger.add_lost()
             if RECORDER.enabled:
                 RECORDER.record(self.sim.now, "link", "loss", bytes=size)
         else:
@@ -232,6 +318,7 @@ class LinkEndpoint:
                 # Inlined ``TimerHandle.rearm`` (delay_s validated >= 0 at
                 # construction).
                 sim = self.sim
+                # repro: ignore[ISO002] -- benchmarked fast-path inlining of TimerHandle.rearm on this link's own simulator (PR 5), not cross-shard state
                 sim._seq += 1
                 seq = sim._seq
                 handle._when = when = sim._now + self.delay_s
@@ -264,10 +351,9 @@ class LinkEndpoint:
             peer.node._on_receive(packet, peer)
 
     def flush_stats(self) -> None:
-        """Fold batched per-endpoint tallies into the global counters."""
+        """Fold batched per-endpoint tallies into the simulator's ledger."""
         if self._unflushed_pkts:
-            _TX_PACKETS.value += self._unflushed_pkts
-            _TX_BYTES.value += self._unflushed_bytes
+            self._ledger.add_tx(self._unflushed_pkts, self._unflushed_bytes)
             self._unflushed_pkts = 0
             self._unflushed_bytes = 0
 
@@ -282,8 +368,7 @@ class LinkEndpoint:
         """
         self.tx_packets += n_segments
         self.tx_bytes += n_bytes
-        _TX_PACKETS.value += n_segments
-        _TX_BYTES.value += n_bytes
+        self._ledger.add_tx(n_segments, n_bytes)
 
     # -- reference path: serializer + delivery processes ----------------------
     def _transmitter(self):
@@ -294,13 +379,12 @@ class LinkEndpoint:
             yield self.sim.timeout(serialize)
             self.tx_packets += 1
             self.tx_bytes += size
-            _TX_PACKETS.value += 1
-            _TX_BYTES.value += size
+            self._ledger.add_tx(1, size)
             if RECORDER.enabled:
                 RECORDER.record(self.sim.now, "link", "tx", bytes=size)
             if self.loss_rate and self._lose():
                 self.lost_packets += 1
-                _LOST.inc()
+                self._ledger.add_lost()
                 if RECORDER.enabled:
                     RECORDER.record(self.sim.now, "link", "loss", bytes=size)
                 continue

@@ -117,6 +117,7 @@ _SEG_POOL_MAX = 512
 def _seg_release(entry: dict) -> None:
     if len(_SEG_POOL) < _SEG_POOL_MAX:
         entry["payload"] = None  # don't pin payload bytes while pooled
+        # repro: ignore[ISO001] -- allocator recycling only: pooled dicts never carry state between users (every field reassigned on reuse), so per-process pools cannot diverge observably
         _SEG_POOL.append(entry)
 
 
@@ -425,6 +426,7 @@ class TcpConnection:
         if register_inflight:
             seg_len = len(payload) + (1 if "FIN" in flags or "SYN" in flags else 0)
             if _SEG_POOL:
+                # repro: ignore[ISO001] -- allocator recycling only: see _seg_release; pool contents never affect behavior
                 entry = _SEG_POOL.pop()
                 entry["seq"] = header.seq
                 entry["len"] = seg_len
@@ -686,6 +688,7 @@ class TcpConnection:
             else:
                 # Inlined ``TimerHandle.rearm`` (self.rto is clamped > 0).
                 sim = self.sim
+                # repro: ignore[ISO002] -- benchmarked fast-path inlining of TimerHandle.rearm on this connection's own simulator (PR 5), not cross-shard state
                 sim._seq += 1
                 seq = sim._seq
                 handle._when = when = sim._now + self.rto
@@ -1410,6 +1413,7 @@ class TcpConnection:
                 else:
                     # Inlined ``TimerHandle.rearm`` (constant positive delay).
                     sim = self.sim
+                    # repro: ignore[ISO002] -- benchmarked fast-path inlining of TimerHandle.rearm on this connection's own simulator (PR 5), not cross-shard state
                     sim._seq += 1
                     seq = sim._seq
                     handle._when = when = sim._now + DELACK_TIMEOUT
@@ -1458,6 +1462,11 @@ class TcpConnection:
             return
         self.state = "CLOSED"
         self._cancel_timer()
+        if self._delack_handle is not None:
+            # LIF001 catch: a pending delayed-ACK timer survived teardown,
+            # keeping the closed connection live on the heap until it fired.
+            self._delack_handle.cancel()
+            self._delack_timer_armed = False
         self._persist_stop()
         self._pace_armed = False
         self._pace_gen += 1

@@ -40,13 +40,23 @@ import pickle
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.net.link import WIRE_TAPS, _TX_BYTES, _TX_PACKETS
+from repro.net.link import WIRE_TAPS, LinkLedger, publish_link_delta
 from repro.net.packet import Packet, VirtualPayload
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Interface
+
+#: Opt-in causality sanitizer taps (mirrors ``net.link.WIRE_TAPS``).  Each
+#: tap observes shard registration, portal sends, coordinator routing and
+#: envelope injection, asserting the happens-before contract at runtime.
+#: Empty in production runs — :mod:`repro.analysis.causality` registers a
+#: sanitizer here from a pytest fixture or an explicit context manager.
+#: Taps installed before ``ShardedSimulation(parallel=True)`` forks are
+#: inherited by the worker children, so shard-side violations raise in the
+#: child and surface as ``ShardError`` in the parent.
+CAUSALITY_TAPS: list[Any] = []
 
 
 class ShardError(Exception):
@@ -75,6 +85,10 @@ class Envelope:
     dst_shard: str
     port_id: str
     packet: Packet
+    #: Sender's local clock when the packet entered the portal.  Causality
+    #: metadata only — deliberately excluded from :func:`canonical_envelope`
+    #: so boundary digests stay comparable across sanitized/plain runs.
+    sent_now: float = -1.0
 
 
 def _canon_payload(payload: Any) -> Any:
@@ -188,28 +202,29 @@ class ShardPortal:
         self._busy_until = done
         self.tx_packets += 1
         self.tx_bytes += size
-        _TX_PACKETS.value += 1
-        _TX_BYTES.value += size
+        self.shard.ledger.add_tx(1, size)
         self.shard._env_seq += 1
-        self.out.append(
-            Envelope(
-                arrival=arrival,
-                src_shard=self.shard.name,
-                src_index=self.shard.index,
-                seq=self.shard._env_seq,
-                dst_shard=self.dst_shard,
-                port_id=self.port_id,
-                packet=packet,
-            )
+        env = Envelope(
+            arrival=arrival,
+            src_shard=self.shard.name,
+            src_index=self.shard.index,
+            seq=self.shard._env_seq,
+            dst_shard=self.dst_shard,
+            port_id=self.port_id,
+            packet=packet,
+            sent_now=now,
         )
+        if CAUSALITY_TAPS:
+            for tap in CAUSALITY_TAPS:
+                tap.on_send(self.shard, self, env)
+        self.out.append(env)
         return True
 
     def account_fluid(self, n_bytes: int, n_segments: int) -> None:
         """Match :meth:`LinkEndpoint.account_fluid` for fluid-mode charging."""
         self.tx_packets += n_segments
         self.tx_bytes += n_bytes
-        _TX_PACKETS.value += n_segments
-        _TX_BYTES.value += n_bytes
+        self.shard.ledger.add_tx(n_segments, n_bytes)
 
     def flush_stats(self) -> None:  # counters are unbatched here
         return None
@@ -224,6 +239,14 @@ class Shard:
         self.name = name
         self.index = index
         self.sim = Simulator(fast_path=fast_path)
+        #: Shard-owned link accounting: a *non-publishing* ledger installed
+        #: before the builder runs, so every LinkEndpoint (and portal) this
+        #: shard creates books into simulator-owned state instead of the
+        #: process-global METRICS counters — which forked workers cannot
+        #: update.  The coordinator collects ``take_delta()`` at every sync
+        #: window and publishes it in the parent process.
+        self.ledger = LinkLedger(publish=False)
+        self.sim.services["link.ledger"] = self.ledger
         #: Per-shard RNG namespace: draw order inside one shard can never
         #: perturb another shard's streams.
         self.rngs = RngStreams(seed).spawn(f"shard:{name}")
@@ -231,6 +254,9 @@ class Shard:
         self.ingress: dict[str, "Interface"] = {}
         self._env_seq = 0
         self.result_fn: Callable[[], Any] | None = None
+        if CAUSALITY_TAPS:
+            for tap in CAUSALITY_TAPS:
+                tap.on_shard(self)
 
     def open_egress(
         self,
@@ -267,7 +293,11 @@ class Shard:
     def inject(self, envelopes: list[Envelope]) -> None:
         """Schedule arrivals from other shards (already globally ordered)."""
         now = self.sim.now
+        taps = CAUSALITY_TAPS
         for env in envelopes:
+            if taps:
+                for tap in taps:
+                    tap.on_inject(self, env, now)
             if env.arrival < now:
                 raise ShardError(
                     f"lookahead violated: envelope for {env.port_id!r} arrives at "
@@ -280,14 +310,21 @@ class Shard:
                 )
             self.sim.call_at(env.arrival, iface.receive, env.packet)
 
-    def advance(self, window_end: float) -> tuple[list[Envelope], float]:
+    def advance(
+        self, window_end: float
+    ) -> tuple[list[Envelope], float, tuple[int, ...]]:
         """Run this shard's clock to ``window_end``; return boundary traffic.
 
-        Returns ``(envelopes, peek)`` where ``peek`` is the next local event
-        time (``inf`` when idle) — the coordinator's early-stop hint; stale
-        cancelled timers may inflate it, so correctness never depends on it.
+        Returns ``(envelopes, peek, ledger_delta)``: ``peek`` is the next
+        local event time (``inf`` when idle) — the coordinator's early-stop
+        hint; stale cancelled timers may inflate it, so correctness never
+        depends on it.  ``ledger_delta`` is this window's link accounting,
+        published by the coordinator in the parent process.
         """
         self.sim.run(until=window_end)
+        if CAUSALITY_TAPS:
+            for tap in CAUSALITY_TAPS:
+                tap.on_commit(self, window_end)
         out: list[Envelope] = []
         for pid in sorted(self.portals):
             portal = self.portals[pid]
@@ -295,12 +332,13 @@ class Shard:
                 out.extend(portal.out)
                 portal.out = []
         out.sort(key=lambda e: (e.arrival, e.seq))
-        return out, self.sim.peek()
+        return out, self.sim.peek(), self.ledger.take_delta()
 
-    def finish(self) -> Any:
+    def finish(self) -> tuple[Any, tuple[int, ...]]:
         result = self.result_fn() if self.result_fn is not None else None
+        delta = self.ledger.take_delta()
         self.sim.close()
-        return result
+        return result, delta
 
 
 # ----------------------------------------------------------------- workers --
@@ -328,11 +366,11 @@ class _InlineWorker:
 
     def window(
         self, window_end: float, envelopes: list[Envelope]
-    ) -> tuple[list[Envelope], float]:
+    ) -> tuple[list[Envelope], float, tuple[int, ...]]:
         self.shard.inject(envelopes)
         return self.shard.advance(window_end)
 
-    def finish(self) -> Any:
+    def finish(self) -> tuple[Any, tuple[int, ...]]:
         return self.shard.finish()
 
     def stop(self) -> None:
@@ -412,11 +450,11 @@ class _ProcessWorker:
 
     def window(
         self, window_end: float, envelopes: list[Envelope]
-    ) -> tuple[list[Envelope], float]:
+    ) -> tuple[list[Envelope], float, tuple[int, ...]]:
         self._conn.send(("window", (window_end, envelopes)))
         return self._recv()
 
-    def finish(self) -> Any:
+    def finish(self) -> tuple[Any, tuple[int, ...]]:
         self._conn.send(("finish", None))
         return self._recv()
 
@@ -508,10 +546,11 @@ class ShardedSimulation:
             outs: list[Envelope] = []
             peeks: list[float] = []
             for name in workers:
-                sent, peek = workers[name].window(window_end, pending[name])
+                sent, peek, delta = workers[name].window(window_end, pending[name])
                 pending[name] = []
                 outs.extend(sent)
                 peeks.append(peek)
+                publish_link_delta(delta)
             self.windows += 1
             if outs:
                 # Canonical global order: arrival time, then source shard,
@@ -520,7 +559,11 @@ class ShardedSimulation:
                 # therefore same-timestamp tie-breaks — are reproducible.
                 outs.sort(key=lambda e: (e.arrival, e.src_index, e.seq))
                 digest = self._digest
+                taps = CAUSALITY_TAPS
                 for env in outs:
+                    if taps:
+                        for tap in taps:
+                            tap.on_route(env, window_end, self.lookahead)
                     if env.arrival < window_end:
                         raise LookaheadError(
                             f"envelope from {env.src_shard!r} arrives at "
@@ -532,7 +575,11 @@ class ShardedSimulation:
             t = window_end
             if not outs and all(p == float("inf") for p in peeks):
                 break  # every shard idle and nothing in flight: done early
-        self.results = {name: workers[name].finish() for name in workers}
+        self.results = {}
+        for name in workers:
+            result, delta = workers[name].finish()
+            publish_link_delta(delta)
+            self.results[name] = result
         for worker in workers.values():
             worker.stop()
         return self.results

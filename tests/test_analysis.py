@@ -18,7 +18,7 @@ import pytest
 import repro
 from repro.analysis import ANALYSIS_SCHEMA, analysis_json, analyze_paths, analyze_source
 from repro.analysis.base import registered_rules
-from repro.analysis.runner import main as analysis_main
+from repro.analysis.runner import load_baseline, main as analysis_main
 
 PRODUCT = "src/repro/fake/module.py"  # scoped like simulator code
 TESTCODE = "tests/test_fake.py"  # scoped like test code
@@ -133,6 +133,13 @@ _COVERED_ELSEWHERE = {
     "CONF003": "tests/test_analysis_conformance.py",
     "SEC001": "tests/test_analysis_taint.py",
     "SEC002": "tests/test_analysis_taint.py",
+    "ISO001": "tests/test_analysis_isolation.py",
+    "ISO002": "tests/test_analysis_isolation.py",
+    "ISO003": "tests/test_analysis_isolation.py",
+    "ISO004": "tests/test_analysis_isolation.py",
+    "LIF001": "tests/test_analysis_lifecycle.py",
+    "LIF002": "tests/test_analysis_lifecycle.py",
+    "LIF003": "tests/test_analysis_lifecycle.py",
 }
 
 
@@ -336,13 +343,121 @@ def test_cli_list_rules(capsys):
         assert rule in out
 
 
+# ---------------------------------------------------------------- baseline --
+
+
+def _baselineable_tree(tmp_path):
+    """One accepted legacy finding (ISO001) plus room to add a fresh one."""
+    bad = tmp_path / "src" / "repro" / "legacy.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("_POOL = []\n\ndef release(x):\n    _POOL.append(x)\n")
+    return bad
+
+
+def test_baseline_accepted_finding_does_not_gate(tmp_path, capsys):
+    bad = _baselineable_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert analysis_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    assert "wrote 1 baseline" in capsys.readouterr().out
+    # Round trip: the same tree gates without the baseline, passes with it.
+    assert analysis_main([str(bad), "--strict"]) == 1
+    capsys.readouterr()
+    assert analysis_main([str(bad), "--strict", "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_baseline_matches_by_path_suffix():
+    # An entry recorded repo-relative must match the same file analyzed via
+    # an absolute path — lines are ignored so edits above don't invalidate it.
+    source = "_POOL = []\n\ndef release(x):\n    _POOL.append(x)\n"
+    findings = analyze_source(source, "/abs/prefix/src/repro/legacy.py")
+    from repro.analysis.runner import AnalysisResult
+
+    result = AnalysisResult(files_checked=1, findings=findings)
+    [finding] = result.active
+    result.apply_baseline(
+        [{"path": "src/repro/legacy.py", "rule": finding.rule,
+          "message": finding.message}]
+    )
+    assert not result.active and len(result.baselined) == 1
+    assert result.baselined[0].baselined
+
+
+def test_baseline_new_finding_still_gates(tmp_path, capsys):
+    bad = _baselineable_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert analysis_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    # A fresh regression in the same file is NOT covered by the baseline.
+    bad.write_text(
+        bad.read_text() + "\n_CACHE = {}\n\ndef remember(k, v):\n"
+        "    _CACHE[k] = v\n"
+    )
+    capsys.readouterr()
+    assert analysis_main([str(bad), "--strict", "--baseline", str(baseline)]) == 1
+    assert "_CACHE" in capsys.readouterr().out
+
+
+def test_baseline_stale_entry_reports_ana003(tmp_path, capsys):
+    bad = _baselineable_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert analysis_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    # Fix the legacy finding; the baseline entry is now stale and must gate
+    # under --strict (a stale baseline hides regressions).
+    bad.write_text("def release(pool, x):\n    pool.append(x)\n")
+    capsys.readouterr()
+    assert analysis_main([str(bad), "--baseline", str(baseline)]) == 0
+    assert analysis_main([str(bad), "--strict", "--baseline", str(baseline)]) == 1
+    assert "ANA003" in capsys.readouterr().out
+
+
+def test_baseline_stale_entry_ignored_under_rules_subset(tmp_path, capsys):
+    # Under --rules the baselined rule may simply not have run; its unused
+    # entry must not count as stale then.
+    bad = _baselineable_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert analysis_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert analysis_main(
+        [str(bad), "--strict", "--rules", "lif", "--baseline", str(baseline)]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_baseline_bad_file_is_usage_error(tmp_path, capsys):
+    bad = _baselineable_tree(tmp_path)
+    missing = tmp_path / "nope.json"
+    assert analysis_main([str(bad), "--baseline", str(missing)]) == 2
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"schema": "something-else/9", "findings": []}))
+    assert analysis_main([str(bad), "--baseline", str(wrong)]) == 2
+    capsys.readouterr()
+
+
+def test_baseline_findings_reported_in_json(tmp_path, capsys):
+    bad = _baselineable_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert analysis_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert analysis_main(
+        [str(bad), "--json", "--strict", "--baseline", str(baseline)]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] and payload["findings"] == []
+    [entry] = payload["baselined"]
+    assert entry["rule"] == "ISO001" and entry["baselined"] is True
+
+
 # -------------------------------------------------------------- self-check --
 
 
 def test_repo_tree_is_clean_under_strict():
-    """The shipped tree must pass its own linter, and every suppression in
-    it must carry a justification."""
+    """The shipped tree must pass its own linter (modulo the shipped
+    baseline, which must itself be exactly current — stale entries gate as
+    ANA003), and every suppression in it must carry a justification."""
     result = analyze_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    baseline_file = REPO_ROOT / "analysis_baseline.json"
+    if baseline_file.is_file():
+        result.apply_baseline(load_baseline(str(baseline_file)))
     gating = result.gating(strict=True)
     assert not gating, "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in gating)
     for finding in result.suppressed:

@@ -186,6 +186,35 @@ class TestHandshakeAndData:
         sim.run(until=5)
         assert isinstance(result["err"], TcpError)
 
+    def test_delack_timer_cancelled_on_teardown(self, stacks):
+        """Regression: a pending delayed-ACK TimerHandle must not survive
+        teardown (it kept the closed connection live on the heap and fired
+        into it after close)."""
+        sim, ta, tb = stacks
+        holder = {}
+
+        def server():
+            listener = tb.listen(80)
+            conn = yield listener.accept()
+            holder["conn"] = conn
+            yield conn.closed
+
+        def client():
+            conn = yield sim.process(ta.open_connection(B, 80))
+            conn.write(b"x")  # a lone segment arms the receiver's delack
+            yield sim.timeout(0.01)  # < DELACK_TIMEOUT: still pending
+            conn.abort()  # RST tears the peer down with the timer armed
+            yield sim.timeout(0.01)
+
+        sim.process(server())
+        proc = sim.process(client())
+        sim.run(until=proc)
+        sconn = holder["conn"]
+        assert sconn.state == "CLOSED"
+        handle = sconn._delack_handle
+        assert handle is None or not handle.active
+        assert not sconn._delack_timer_armed
+
     def test_write_after_close_rejected(self, stacks):
         sim, ta, tb = stacks
         echo_server(sim, tb)

@@ -142,6 +142,29 @@ def test_egress_without_matching_ingress_rejected():
         ShardedSimulation(builders, 42)
 
 
+def test_link_counters_aggregate_across_workers():
+    """Regression: shard link accounting used to write the process-global
+    METRICS counters directly — a forked worker's writes died with the
+    child, so ``parallel=True`` silently under-counted.  The per-shard
+    ledger deltas published at every sync window must make both modes
+    book identical totals."""
+    from repro.metrics import METRICS
+
+    tx_packets = METRICS.counter("link.tx_packets")
+    tx_bytes = METRICS.counter("link.tx_bytes")
+
+    def booked(parallel):
+        before = (tx_packets.value, tx_bytes.value)
+        run_echo(parallel=parallel)
+        return (tx_packets.value - before[0], tx_bytes.value - before[1])
+
+    inline = booked(parallel=False)
+    forked = booked(parallel=True)
+    assert inline == forked
+    assert inline[0] >= 40  # 20 pings + 20 echoes crossed the boundary
+    assert inline[1] > 0
+
+
 # --- scale-scenario equivalence ----------------------------------------------
 
 
