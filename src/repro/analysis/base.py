@@ -128,18 +128,94 @@ class ProductChecker(Checker):
         return ctx.is_product
 
 
+@dataclass
+class ProgramContext:
+    """The whole analyzed set at once, for interprocedural checkers.
+
+    Per-module checkers see one :class:`ModuleContext`; program checkers
+    see all of them plus a shared ``cache`` where the expensive artifacts
+    (call graph, dataflow summaries) are computed once and reused by every
+    rule that needs them.
+    """
+
+    contexts: list[ModuleContext]
+    cache: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.by_path: dict[str, ModuleContext] = {
+            ctx.path: ctx for ctx in self.contexts
+        }
+
+    def program(self):
+        """Memoised ``(ProgramIndex, CallGraph)`` over the product modules."""
+        if "callgraph" not in self.cache:
+            from repro.analysis.callgraph import build_program
+
+            self.cache["callgraph"] = build_program(self.contexts)
+        return self.cache["callgraph"]
+
+    def add(self, path: str, rule: str, node: ast.AST, message: str) -> None:
+        """Report a finding into the owning module's context (so the normal
+        per-file suppression machinery applies to program-level rules)."""
+        ctx = self.by_path.get(path)
+        if ctx is not None:
+            ctx.add(rule, node, message)
+
+
+class ProgramChecker:
+    """Base class for one whole-program rule."""
+
+    rule: str = ""
+    description: str = ""
+
+    def __init__(self, pctx: ProgramContext) -> None:
+        self.pctx = pctx
+
+    @classmethod
+    def applies(cls, pctx: ProgramContext) -> bool:
+        """Override to scope the rule (default: any analyzed set)."""
+        return True
+
+    def run(self) -> None:
+        raise NotImplementedError
+
+
 REGISTRY: list[type[Checker]] = []
+PROGRAM_REGISTRY: list[type[ProgramChecker]] = []
+
+
+def _check_unique(rule: str, name: str) -> None:
+    if not rule:
+        raise ValueError(f"{name} has no rule id")
+    taken = {cls.rule for cls in REGISTRY} | {cls.rule for cls in PROGRAM_REGISTRY}
+    if rule in taken:
+        raise ValueError(f"duplicate rule id {rule}")
 
 
 def register(cls: type[Checker]) -> type[Checker]:
-    if not cls.rule:
-        raise ValueError(f"{cls.__name__} has no rule id")
-    if any(existing.rule == cls.rule for existing in REGISTRY):
-        raise ValueError(f"duplicate rule id {cls.rule}")
+    _check_unique(cls.rule, cls.__name__)
     REGISTRY.append(cls)
+    return cls
+
+
+def register_program(cls: type[ProgramChecker]) -> type[ProgramChecker]:
+    _check_unique(cls.rule, cls.__name__)
+    PROGRAM_REGISTRY.append(cls)
     return cls
 
 
 def registered_rules() -> dict[str, str]:
     """rule id -> description, for ``--list-rules`` and the JSON report."""
-    return {cls.rule: cls.description for cls in REGISTRY}
+    rules = {cls.rule: cls.description for cls in REGISTRY}
+    rules.update({cls.rule: cls.description for cls in PROGRAM_REGISTRY})
+    return rules
+
+
+def rule_doc(rule: str) -> str:
+    """One-line doc for ``--list-rules``: first docstring line, else the
+    registered description."""
+    for cls in (*REGISTRY, *PROGRAM_REGISTRY):
+        if cls.rule == rule:
+            doc = (cls.__doc__ or "").strip().splitlines()
+            return doc[0].strip() if doc else cls.description
+    return ""

@@ -13,6 +13,7 @@ The JSON schema (version ``repro-analysis/1``) is the linter sibling of the
       "suppressed":[{... "suppressed": true,
                      "justification": str|null}, ...],  # inventory
       "counts":    {"<RULE>": int, ...},                # active findings only
+      "timings":   {"<RULE>": float, ...},              # wall seconds per pass
       "clean":     bool                                 # no active findings
     }
 
@@ -52,6 +53,10 @@ def analysis_json(result) -> dict:
         "suppressed": [f.as_json() for f in suppressed],
         "baselined": [f.as_json() for f in baselined],
         "counts": dict(sorted(counts.items())),
+        "timings": {
+            rule: round(seconds, 6)
+            for rule, seconds in sorted(getattr(result, "timings", {}).items())
+        },
         "clean": not active,
     }
 

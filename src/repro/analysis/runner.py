@@ -4,6 +4,19 @@
 (CI runs exactly that).  Exit status: 0 when clean, 1 when any active
 finding survives, 2 on usage errors.  Without ``--strict`` the suppression
 hygiene meta-rules (ANA001/ANA002) are reported but do not gate.
+
+Each file is parsed exactly once; the per-module rules share the
+:class:`~repro.analysis.base.ModuleContext` and the whole-program rules
+(SEC003/004, VAL, PERF) share one :class:`~repro.analysis.base.ProgramContext`
+— call graph and dataflow summaries are built once per run, not per rule.
+Per-rule wall time lands in the JSON report's ``timings`` map.
+
+``--changed-only`` asks git for the files changed since the merge-base
+with the default branch and analyzes just those plus every module that
+(transitively) imports them — the import closure comes from the same
+program index the call graph uses.  Still parses the whole tree (the
+graph must be whole-program); only the checkers are skipped, which is
+where the time goes.  Falls back to a full run when git is unavailable.
 """
 
 from __future__ import annotations
@@ -12,10 +25,19 @@ import argparse
 import ast
 import json
 import pathlib
+import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
 
-from repro.analysis.base import REGISTRY, ModuleContext, registered_rules
+from repro.analysis.base import (
+    PROGRAM_REGISTRY,
+    REGISTRY,
+    ModuleContext,
+    ProgramContext,
+    registered_rules,
+    rule_doc,
+)
 from repro.analysis.findings import Finding, Suppression, parse_suppressions
 from repro.analysis.report import META_RULES, analysis_json, render_text
 
@@ -25,10 +47,24 @@ import repro.analysis.lifecycle  # noqa: F401  (registration side effect)
 import repro.analysis.rules  # noqa: F401  (registration side effect)
 import repro.analysis.statemachine  # noqa: F401  (registration side effect)
 import repro.analysis.taint  # noqa: F401  (registration side effect)
+import repro.analysis.dataflow  # noqa: F401  (registration side effect)
+import repro.analysis.validation  # noqa: F401  (registration side effect)
+import repro.analysis.perf  # noqa: F401  (registration side effect)
 
 _HYGIENE_RULES = ("ANA001", "ANA002", "ANA003")
 
 BASELINE_SCHEMA = "repro-analysis-baseline/1"
+
+_FAMILY_TITLES = {
+    "ANA": "analysis hygiene",
+    "CONF": "configuration consistency",
+    "DET": "determinism",
+    "ISO": "shard isolation",
+    "LIF": "handle lifecycle",
+    "PERF": "hot-path discipline",
+    "SEC": "secret flow",
+    "VAL": "wire-input validation",
+}
 
 
 @dataclass
@@ -37,6 +73,8 @@ class AnalysisResult:
 
     files_checked: int = 0
     findings: list[Finding] = field(default_factory=list)
+    #: rule id -> accumulated wall seconds across all files/program passes
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def active(self) -> list[Finding]:
@@ -61,8 +99,14 @@ class AnalysisResult:
     def extend(self, findings: list[Finding]) -> None:
         self.findings.extend(findings)
 
+    def add_timing(self, rule: str, seconds: float) -> None:
+        self.timings[rule] = self.timings.get(rule, 0.0) + seconds
+
     def apply_baseline(
-        self, entries: list[dict], rules: set[str] | None = None
+        self,
+        entries: list[dict],
+        rules: set[str] | None = None,
+        report_stale: bool = True,
     ) -> None:
         """Mark accepted pre-existing findings; report stale entries.
 
@@ -73,6 +117,9 @@ class AnalysisResult:
         must survive unrelated edits above the finding.  Entries that match
         nothing become ANA003 findings: a stale baseline hides regressions,
         so it gates under ``--strict`` exactly like unused suppressions.
+        ``report_stale=False`` (the ``--changed-only`` path) skips that:
+        entries for files outside the changed closure are not stale, their
+        rules simply did not run.
         """
         pool = [
             {
@@ -104,6 +151,8 @@ class AnalysisResult:
                     continue
             rewritten.append(finding)
         self.findings = rewritten
+        if not report_stale:
+            return
         for entry in pool:
             if entry["count"] <= 0:
                 continue
@@ -222,33 +271,76 @@ def _apply_suppressions(
     return out
 
 
+# -- shared analysis core ------------------------------------------------------
+
+def _clock() -> float:
+    """Wall time for the per-rule timing report (tooling, not simulation)."""
+    # repro: ignore[DET001] -- times the linter's own passes for the JSON report; analysis tooling never runs inside the simulation
+    return time.perf_counter()
+
+
+def _parse_module(source: str, path: str) -> ModuleContext | Finding:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            path=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            rule="ANA000",
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleContext(path=path, source=source, tree=tree)
+
+
+def _run_module_checkers(
+    ctx: ModuleContext,
+    rules: set[str] | None,
+    result: AnalysisResult | None = None,
+) -> None:
+    for checker_cls in REGISTRY:
+        if rules is not None and checker_cls.rule not in rules:
+            continue
+        if checker_cls.applies(ctx):
+            start = _clock()
+            checker_cls(ctx).run()
+            if result is not None:
+                result.add_timing(checker_cls.rule, _clock() - start)
+
+
+def _run_program_checkers(
+    contexts: list[ModuleContext],
+    rules: set[str] | None,
+    result: AnalysisResult | None = None,
+) -> None:
+    """Run whole-program rules; findings land in each owning context."""
+    pctx = ProgramContext(contexts=contexts)
+    for checker_cls in PROGRAM_REGISTRY:
+        if rules is not None and checker_cls.rule not in rules:
+            continue
+        if checker_cls.applies(pctx):
+            start = _clock()
+            checker_cls(pctx).run()
+            if result is not None:
+                result.add_timing(checker_cls.rule, _clock() - start)
+
+
 def analyze_source(
     source: str, path: str, rules: set[str] | None = None
 ) -> list[Finding]:
     """Analyze one module's text; ``path`` drives rule scoping.
 
-    ``rules`` restricts which checkers run (None = all registered).
+    ``rules`` restricts which checkers run (None = all registered).  The
+    program-level rules run over a single-module program — exactly what
+    the fixture suites need.
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                rule="ANA000",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(path=path, source=source, tree=tree)
-    for checker_cls in REGISTRY:
-        if rules is not None and checker_cls.rule not in rules:
-            continue
-        if checker_cls.applies(ctx):
-            checker_cls(ctx).run()
+    parsed = _parse_module(source, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    _run_module_checkers(parsed, rules)
+    _run_program_checkers([parsed], rules)
     return _apply_suppressions(
-        ctx.findings, parse_suppressions(source, path), rules
+        parsed.findings, parse_suppressions(source, path), rules
     )
 
 
@@ -269,11 +361,86 @@ def _iter_python_files(paths: list[str]) -> list[pathlib.Path]:
     return sorted(set(files))
 
 
+def changed_files() -> set[str] | None:
+    """Repo-relative paths changed vs. the merge-base with the default
+    branch, plus uncommitted changes.  None when git is unusable (the
+    caller falls back to a full run)."""
+
+    def _git(*args: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *args], capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    base = None
+    for ref in ("origin/main", "origin/master", "main", "master"):
+        out = _git("merge-base", "HEAD", ref)
+        if out and out.strip():
+            base = out.strip()
+            break
+    listings = []
+    if base is not None:
+        listings.append(_git("diff", "--name-only", base, "HEAD"))
+    listings.append(_git("diff", "--name-only", "HEAD"))
+    listings.append(_git("ls-files", "--others", "--exclude-standard"))
+    if all(chunk is None for chunk in listings):
+        return None
+    changed: set[str] = set()
+    for chunk in listings:
+        if chunk:
+            changed.update(
+                line.strip() for line in chunk.splitlines() if line.strip()
+            )
+    return changed
+
+
+def _changed_closure_paths(
+    contexts: list[ModuleContext], changed: set[str]
+) -> set[str]:
+    """Analyzed paths to keep: changed files plus the import closure of
+    changed product modules (via the program index's import graph)."""
+    from repro.analysis.callgraph import ProgramIndex
+
+    norm_changed = {c.replace("\\", "/") for c in changed if c.endswith(".py")}
+
+    def is_changed(path: str) -> bool:
+        norm = path.replace("\\", "/")
+        return any(
+            norm == c or norm.endswith("/" + c) or c.endswith("/" + norm)
+            for c in norm_changed
+        )
+
+    index = ProgramIndex.build(contexts)
+    changed_modules = {
+        module
+        for path, module in index.module_of_path.items()
+        if is_changed(path)
+    }
+    closure = index.changed_closure(changed_modules)
+    keep: set[str] = set()
+    for ctx in contexts:
+        module = index.module_of_path.get(ctx.path)
+        if (module is not None and module in closure) or is_changed(ctx.path):
+            keep.add(ctx.path)
+    return keep
+
+
 def analyze_paths(
-    paths: list[str], rules: set[str] | None = None
+    paths: list[str],
+    rules: set[str] | None = None,
+    changed_only: set[str] | None = None,
 ) -> AnalysisResult:
-    """Analyze every ``.py`` file under ``paths`` (files or directories)."""
+    """Analyze every ``.py`` file under ``paths`` (files or directories).
+
+    Each file is parsed once; per-module and program rules share the ASTs.
+    ``changed_only`` (a set of repo-relative changed paths) restricts
+    *checking* to those files plus their reverse-import closure.
+    """
     result = AnalysisResult()
+    contexts: list[ModuleContext] = []
     for file_path in _iter_python_files(paths):
         try:
             source = file_path.read_text(encoding="utf-8")
@@ -290,9 +457,52 @@ def analyze_paths(
                 ]
             )
             continue
+        parsed = _parse_module(source, str(file_path))
+        if isinstance(parsed, Finding):
+            result.files_checked += 1
+            result.extend([parsed])
+            continue
+        contexts.append(parsed)
+
+    keep: set[str] | None = None
+    if changed_only is not None:
+        keep = _changed_closure_paths(contexts, changed_only)
+
+    checked: list[ModuleContext] = []
+    for ctx in contexts:
+        if keep is not None and ctx.path not in keep:
+            continue
+        checked.append(ctx)
         result.files_checked += 1
-        result.extend(analyze_source(source, str(file_path), rules=rules))
+        _run_module_checkers(ctx, rules, result)
+
+    # Program rules see the whole parsed set (the graph must be complete)
+    # but only checked files' findings are reported.
+    checked_paths = {ctx.path for ctx in checked}
+    _run_program_checkers(contexts, rules, result)
+    for ctx in contexts:
+        if ctx.path not in checked_paths:
+            continue
+        result.extend(
+            _apply_suppressions(
+                ctx.findings, parse_suppressions(ctx.source, ctx.path), rules
+            )
+        )
     return result
+
+
+def _print_rules() -> None:
+    """Grouped ``--list-rules``: family heading, then ``RULE  one-liner``."""
+    all_rules = {**registered_rules(), **META_RULES}
+    families: dict[str, list[str]] = {}
+    for rule in sorted(all_rules):
+        families.setdefault(rule.rstrip("0123456789"), []).append(rule)
+    for family in sorted(families):
+        title = _FAMILY_TITLES.get(family, "")
+        print(f"{family} — {title}" if title else family)
+        for rule in families[family]:
+            doc = META_RULES.get(rule) or rule_doc(rule) or all_rules[rule]
+            print(f"  {rule}  {doc}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -326,6 +536,14 @@ def main(argv: list[str] | None = None) -> int:
         "--list-rules", action="store_true", help="print registered rules and exit"
     )
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help=(
+            "check only files changed vs. the merge-base with the default "
+            "branch, plus modules that transitively import them; falls back "
+            "to a full run when git is unavailable"
+        ),
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="FILE",
         help=(
             "accept the pre-existing findings listed in FILE "
@@ -343,10 +561,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule, description in sorted(
-            {**registered_rules(), **META_RULES}.items()
-        ):
-            print(f"{rule}  {description}")
+        _print_rules()
         return 0
 
     selected = None
@@ -366,7 +581,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
 
-    result = analyze_paths(args.paths, rules=selected)
+    changed: set[str] | None = None
+    if args.changed_only:
+        changed = changed_files()
+        if changed is None:
+            print(
+                "--changed-only: git unavailable; analyzing everything",
+                file=sys.stderr,
+            )
+
+    result = analyze_paths(args.paths, rules=selected, changed_only=changed)
     if args.write_baseline:
         count = write_baseline(args.write_baseline, result)
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
@@ -378,7 +602,9 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"--baseline: {exc}", file=sys.stderr)
             return 2
-        result.apply_baseline(entries, rules=selected)
+        result.apply_baseline(
+            entries, rules=selected, report_stale=changed is None
+        )
     if args.format == "json" or args.json:
         print(json.dumps(analysis_json(result), indent=2, sort_keys=True))
     else:

@@ -73,6 +73,39 @@ _DECLASSIFY_ATTRS = frozenset({"encrypt"})
 _SINK_CALLS = frozenset({"_send_control", "_send_message"})
 
 
+def label_candidates(
+    node: ast.expr, consts: dict[str, bytes]
+) -> list[bytes] | None:
+    """Constant candidates for a ``tls_prf`` label, or None if opaque.
+
+    Shared with the interprocedural engine (:mod:`repro.analysis.dataflow`)
+    so both passes classify ``tls_prf`` labels identically.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+        return [node.value]
+    if isinstance(node, ast.Name) and node.id in consts:
+        return [consts[node.id]]
+    if isinstance(node, ast.IfExp):
+        body = label_candidates(node.body, consts)
+        orelse = label_candidates(node.orelse, consts)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+def tls_prf_taint(node: ast.Call, consts: dict[str, bytes]) -> int:
+    """Taint class of a ``tls_prf(...)`` call result.
+
+    Finished verify_data is PRF output *meant* for the wire; any other
+    label (master secret, key expansion) derives key bytes.
+    """
+    if len(node.args) >= 2:
+        labels = label_candidates(node.args[1], consts)
+        if labels is not None and all(b"finished" in lb for lb in labels):
+            return MAC
+    return SECRET
+
+
 def _terminal_name(node: ast.expr) -> str | None:
     if isinstance(node, ast.Name):
         return node.id
@@ -152,28 +185,12 @@ class _FunctionTaint:
         return max((self.taint_of(v) for v in values), default=CLEAN)
 
     def _label_bytes(self, node: ast.expr) -> list[bytes] | None:
-        """Constant candidates for a ``tls_prf`` label, or None if opaque."""
-        if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
-            return [node.value]
-        if isinstance(node, ast.Name) and node.id in self.consts:
-            return [self.consts[node.id]]
-        if isinstance(node, ast.IfExp):
-            body = self._label_bytes(node.body)
-            orelse = self._label_bytes(node.orelse)
-            if body is not None and orelse is not None:
-                return body + orelse
-        return None
+        return label_candidates(node, self.consts)
 
     def _call_taint(self, node: ast.Call) -> int:
         name = _call_name(node.func)
         if name == "tls_prf":
-            # Finished verify_data is PRF output *meant* for the wire; any
-            # other label (master secret, key expansion) derives key bytes.
-            if len(node.args) >= 2:
-                labels = self._label_bytes(node.args[1])
-                if labels is not None and all(b"finished" in lb for lb in labels):
-                    return MAC
-            return SECRET
+            return tls_prf_taint(node, self.consts)
         if isinstance(node.func, ast.Attribute):
             if node.func.attr in _DECLASSIFY_ATTRS:
                 return CLEAN

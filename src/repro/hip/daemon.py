@@ -80,6 +80,12 @@ _POLICY_DROPS = METRICS.counter("hip.drops_policy")
 _BEX_DONE = METRICS.counter("hip.bex_completed")
 _BEX_T = METRICS.histogram("hip.bex_s")
 
+# Pre-bound meter keys: the ESP dataplane must not format strings per packet.
+_ESP_ENC_LSI = "esp.encrypt.lsi"
+_ESP_ENC_HIT = "esp.encrypt.hit"
+_ESP_DEC_LSI = "esp.decrypt.lsi"
+_ESP_DEC_HIT = "esp.decrypt.hit"
+
 
 class HipError(Exception):
     """Association failure (timeout, verification failure, policy deny)."""
@@ -306,7 +312,7 @@ class HipDaemon:
             translate = cm.lsi_translation if kind == "lsi" else cm.hit_translation
             payload_bytes = packet.size_bytes
             cost = translate + cm.esp_encrypt_cost(payload_bytes)
-            self.meter.charge(f"esp.encrypt.{kind}", cost)
+            self.meter.charge(_ESP_ENC_LSI if kind == "lsi" else _ESP_ENC_HIT, cost)
             yield from self.node.cpu_work(cost)
         assert assoc.sa_out is not None and assoc.peer_locator is not None
         esp_header, ciphertext = assoc.sa_out.protect(packet)
@@ -342,7 +348,7 @@ class HipDaemon:
             if self.config.charge_costs:
                 translate = cm.lsi_translation if kind == "lsi" else cm.hit_translation
                 cost = translate + cm.esp_decrypt_cost(len(payload.inner))
-                self.meter.charge(f"esp.decrypt.{kind}", cost)
+                self.meter.charge(_ESP_DEC_LSI if kind == "lsi" else _ESP_DEC_HIT, cost)
                 yield from self.node.cpu_work(cost)
             try:
                 inner = assoc.sa_in.verify(esp_header, payload)
@@ -389,12 +395,12 @@ class HipDaemon:
         seg_bytes = n_bytes // n_segments
         if direction == "out":
             per_seg = translate + cm.esp_encrypt_cost(seg_bytes)
-            self.meter.charge(f"esp.encrypt.{kind}", per_seg * n_segments)
+            self.meter.charge(_ESP_ENC_LSI if kind == "lsi" else _ESP_ENC_HIT, per_seg * n_segments)
             self.data_packets_sent += n_segments
             _DATA_SENT.value += n_segments
         else:
             per_seg = translate + cm.esp_decrypt_cost(seg_bytes)
-            self.meter.charge(f"esp.decrypt.{kind}", per_seg * n_segments)
+            self.meter.charge(_ESP_DEC_LSI if kind == "lsi" else _ESP_DEC_HIT, per_seg * n_segments)
             self.data_packets_received += n_segments
             _DATA_RECV.value += n_segments
         self.node.cpu_busy_seconds += per_seg * n_segments

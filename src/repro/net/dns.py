@@ -25,6 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover
 DNS_PORT = 53
 
 
+class DnsDecodeError(ValueError):
+    """Malformed DNS wire message (truncated, oversized field, bad UTF-8)."""
+
+
 @dataclass(frozen=True)
 class DnsRecord:
     """One resource record."""
@@ -57,9 +61,16 @@ def _pack_str(s: str) -> bytes:
 
 
 def _unpack_str(buf: bytes, off: int) -> tuple[str, int]:
+    if off + 2 > len(buf):
+        raise DnsDecodeError("truncated string length")
     (n,) = struct.unpack_from(">H", buf, off)
     off += 2
-    return buf[off : off + n].decode("utf-8"), off + n
+    if off + n > len(buf):
+        raise DnsDecodeError("string runs past end of message")
+    try:
+        return buf[off : off + n].decode("utf-8"), off + n
+    except UnicodeDecodeError as exc:
+        raise DnsDecodeError(f"string is not valid UTF-8: {exc}") from exc
 
 
 def encode_query(qname: str, qtype: str, qid: int) -> bytes:
@@ -67,9 +78,11 @@ def encode_query(qname: str, qtype: str, qid: int) -> bytes:
 
 
 def decode_query(data: bytes) -> tuple[int, str, str]:
+    if len(data) < 3:
+        raise DnsDecodeError("query shorter than its fixed header")
     qid, kind = struct.unpack_from(">HB", data, 0)
     if kind != 0:
-        raise ValueError("not a query")
+        raise DnsDecodeError("not a query")
     qname, off = _unpack_str(data, 3)
     qtype, _ = _unpack_str(data, off)
     return qid, qname, qtype
@@ -93,32 +106,53 @@ def encode_response(qid: int, records: list[DnsRecord]) -> bytes:
 
 
 def decode_response(data: bytes) -> tuple[int, list[DnsRecord]]:
+    if len(data) < 5:
+        raise DnsDecodeError("response shorter than its fixed header")
     qid, kind, count = struct.unpack_from(">HBH", data, 0)
     if kind != 1:
-        raise ValueError("not a response")
+        raise DnsDecodeError("not a response")
     off = 5
     records: list[DnsRecord] = []
     for _ in range(count):
         name, off = _unpack_str(data, off)
         rtype, off = _unpack_str(data, off)
+        if off + 4 > len(data):
+            raise DnsDecodeError("truncated TTL")
         (ttl,) = struct.unpack_from(">f", data, off)
         off += 4
         if rtype in ("A", "AAAA"):
+            if off + 1 > len(data):
+                raise DnsDecodeError("truncated address family")
             family = data[off]
             off += 1
+            expect = 4 if rtype == "A" else 6
+            if family != expect:
+                raise DnsDecodeError(f"family-{family} address in {rtype} record")
             size = 4 if family == 4 else 16
+            if off + size > len(data):
+                raise DnsDecodeError("truncated address")
             addr = IPAddress(family, int.from_bytes(data[off : off + size], "big"))
             off += size
             records.append(DnsRecord(name=name, rtype=rtype, ttl=ttl, address=addr))
         elif rtype == "HIP":
+            if off + 18 > len(data):
+                raise DnsDecodeError("truncated HIP record")
             hit = IPAddress(6, int.from_bytes(data[off : off + 16], "big"))
             off += 16
             (hid_len,) = struct.unpack_from(">H", data, off)
             off += 2
+            if off + hid_len > len(data):
+                raise DnsDecodeError("host identifier runs past end of message")
             host_id = data[off : off + hid_len]
             off += hid_len
+            if off + 1 > len(data):
+                raise DnsDecodeError("truncated rendezvous count")
             n_rvs = data[off]
             off += 1
+            # Each rendezvous name costs at least its 2-byte length prefix;
+            # reject counts the remaining bytes cannot possibly satisfy.
+            if off + 2 * n_rvs > len(data):
+                raise DnsDecodeError("rendezvous list runs past end of message")
             rvs = []
             for _ in range(n_rvs):
                 rvs_name, off = _unpack_str(data, off)
@@ -128,7 +162,7 @@ def decode_response(data: bytes) -> tuple[int, list[DnsRecord]]:
                           host_id=host_id, rvs=tuple(rvs))
             )
         else:
-            raise ValueError(f"bad record type {rtype!r} in response")
+            raise DnsDecodeError(f"bad record type {rtype!r} in response")
     return qid, records
 
 
@@ -163,7 +197,7 @@ class DnsServer:
             data, (src, src_port) = yield self._sock.recvfrom()
             try:
                 qid, qname, qtype = decode_query(bytes(data))
-            except (ValueError, struct.error):
+            except DnsDecodeError:
                 continue
             yield from self.node.cpu_work(20e-6)  # lookup + response build
             answers = self.zone.lookup(qname, qtype)
@@ -206,7 +240,10 @@ class DnsResolver:
                 winner, value = yield AnyOf(sim, [reply, deadline])
                 if winner is reply:
                     data, _src = value
-                    rid, records = decode_response(bytes(data))
+                    try:
+                        rid, records = decode_response(bytes(data))
+                    except DnsDecodeError:
+                        continue  # hostile or corrupt response: retry
                     if rid != qid:
                         continue  # stale response; retry
                     if records:

@@ -158,6 +158,10 @@ class TcpConnection:
         self.local_port = local_port
         self.remote_addr = remote_addr
         self.remote_port = remote_port
+        # Timer-process names, formatted once: the arm paths run per event.
+        self._persist_proc_name = f"tcp-persist-{local_port}"
+        self._pace_proc_name = f"tcp-pace-{local_port}"
+        self._rto_proc_name = f"tcp-rto-{local_port}"
         self.mss = mss
         self._fast = self.sim.fast_path
         self.state = "CLOSED"
@@ -435,6 +439,7 @@ class TcpConnection:
                 entry["sent_at"] = self.sim.now
                 entry["retx"] = 0
             else:
+                # repro: ignore[PERF001] -- pool-miss fallback: this dict is built only while _SEG_POOL is warming up, then recycled indefinitely by _seg_release
                 entry = {
                     "seq": header.seq,
                     "len": seg_len,
@@ -539,7 +544,7 @@ class TcpConnection:
         self._persist_gen += 1
         self.sim.process(
             self._persist_proc(self._persist_gen, delay),
-            name=f"tcp-persist-{self.local_port}",
+            name=self._persist_proc_name,
         )
 
     def _persist_proc(self, gen: int, delay: float) -> Generator:
@@ -659,7 +664,7 @@ class TcpConnection:
         self._pace_gen += 1
         self.sim.process(
             self._pace_proc(self._pace_gen, delay),
-            name=f"tcp-pace-{self.local_port}",
+            name=self._pace_proc_name,
         )
 
     def _pace_proc(self, gen: int, delay: float) -> Generator:
@@ -697,7 +702,7 @@ class TcpConnection:
             return
         self._timer_gen += 1
         gen = self._timer_gen
-        self.sim.process(self._timer(gen), name=f"tcp-rto-{self.local_port}")
+        self.sim.process(self._timer(gen), name=self._rto_proc_name)
 
     def _cancel_timer(self) -> None:
         self._timer_gen += 1  # invalidates reference-path timer processes
@@ -726,8 +731,10 @@ class TcpConnection:
                 self._teardown(TcpError("connection attempt timed out"))
                 return
             if self.state == "SYN_SENT":
+                # repro: ignore[PERF001] -- handshake RTO slow path: one dict per retransmission timeout, not per segment
                 seg = {"seq": 0, "flags": frozenset({"SYN"}), "payload": b""}
             else:
+                # repro: ignore[PERF001] -- handshake RTO slow path: one dict per retransmission timeout, not per segment
                 seg = {"seq": 0, "flags": frozenset({"SYN", "ACK"}), "payload": b""}
         elif self.inflight:
             entry = self.inflight[0]
@@ -1158,6 +1165,7 @@ class TcpConnection:
             _ACK_FLAGS, self.recv_window, _EMPTY_SACK,
         )
         packet = Packet(
+            # repro: ignore[PERF001] -- fluid probes fire once per discovery round-trip, not per fluid-advance event; the meta dict is how the peer demultiplexes them
             headers=(header,), payload=b"", meta={"fluid_probe": self._fluid_id}
         )
         self.node.send_ip(self.remote_addr, "tcp", packet, src=self.local_addr)

@@ -38,6 +38,21 @@ _TAG_RS = 0x01  # router solicitation
 _TAG_RA = 0x02  # router advertisement
 _TAG_DATA = 0x00  # encapsulated IPv6 packet follows (as a tunneled Packet)
 
+_RA_LEN = 7  # tag + mapped IPv4 (4) + mapped port (2)
+
+
+class TeredoParseError(ValueError):
+    """Malformed Teredo control message."""
+
+
+def parse_ra(data: bytes) -> tuple[IPAddress, int]:
+    """Parse a router advertisement into (mapped_addr, mapped_port)."""
+    if len(data) != _RA_LEN:
+        raise TeredoParseError(f"RA must be {_RA_LEN} bytes, got {len(data)}")
+    mapped_addr = ipv4(int.from_bytes(bytes(data[1:5]), "big"))
+    (mapped_port,) = struct.unpack(">H", bytes(data[5:7]))
+    return mapped_addr, mapped_port
+
 
 def make_teredo_address(server_v4: IPAddress, mapped_addr: IPAddress, mapped_port: int) -> IPAddress:
     """Derive the client's Teredo IPv6 address (RFC 4380 §4)."""
@@ -130,9 +145,10 @@ class TeredoClient:
         while True:
             data, _src = yield self.sock.recvfrom()
             if isinstance(data, (bytes, bytearray)) and data and data[0] == _TAG_RA:
-                mapped_addr = ipv4(int.from_bytes(bytes(data[1:5]), "big"))
-                (mapped_port,) = struct.unpack(">H", bytes(data[5:7]))
-                return mapped_addr, mapped_port
+                try:
+                    return parse_ra(data)
+                except TeredoParseError:
+                    continue  # hostile or corrupt RA: keep waiting
             # Not the RA (early data packet): hand to the decap path.
             self._handle_encapsulated(data)
 

@@ -188,6 +188,8 @@ class TlsConnection:
             self.meter.charge("tls.record.in", cost)
             yield from self.node.cpu_work(cost)
             return VirtualPayload(plain_len, tag="tls")
+        if len(body) < IV_LEN + MAC_LEN:
+            raise TlsError("record too short for IV and MAC")
         iv, ciphertext = bytes(body[:IV_LEN]), bytes(body[IV_LEN:])
         cost = self.node.cost_model.tls_record_cost(len(ciphertext))
         self.meter.charge("tls.record.in", cost)
@@ -262,7 +264,11 @@ def tls_client_handshake(
     mtype, body = yield from _recv_message(conn)
     if mtype != SERVER_HELLO:
         raise TlsError(f"expected ServerHello, got {mtype}")
+    if len(body) < 2:
+        raise TlsError("ServerHello too short")
     (sid_len,) = struct.unpack_from(">H", body, 0)
+    if len(body) != 35 + sid_len:  # 2 + session id + 32 random + 1 resumed
+        raise TlsError("ServerHello length mismatch")
     session_id = body[2 : 2 + sid_len]
     server_random = body[2 + sid_len : 34 + sid_len]
     resumed = body[34 + sid_len : 35 + sid_len] == b"\x01"
@@ -283,7 +289,11 @@ def tls_client_handshake(
     mtype, cert = yield from _recv_message(conn)
     if mtype != CERTIFICATE:
         raise TlsError(f"expected Certificate, got {mtype}")
+    if len(cert) < 2:
+        raise TlsError("Certificate message too short")
     key_len = struct.unpack_from(">H", cert, 0)[0]
+    if len(cert) < 2 + key_len:
+        raise TlsError("Certificate key runs past end of message")
     server_key = RsaPublicKey.from_bytes(cert[2 : 2 + key_len])
     mtype, _ = yield from _recv_message(conn)
     if mtype != SERVER_HELLO_DONE:
@@ -319,7 +329,11 @@ def tls_server_handshake(
     mtype, body = yield from _recv_message(conn)
     if mtype != CLIENT_HELLO:
         raise TlsError(f"expected ClientHello, got {mtype}")
+    if len(body) < 2:
+        raise TlsError("ClientHello too short")
     (sid_len,) = struct.unpack_from(">H", body, 0)
+    if len(body) != 34 + sid_len:  # 2 + session id + 32 random
+        raise TlsError("ClientHello length mismatch")
     offered_id = body[2 : 2 + sid_len]
     client_random = body[2 + sid_len : 34 + sid_len]
     server_random = rng.getrandbits(256).to_bytes(32, "big")

@@ -1,0 +1,233 @@
+"""Interprocedural secret-flow tests (SEC003/SEC004) and the escape-set
+fixpoint (``propagate_raises``) that VAL003 builds on.
+
+SEC003/SEC004 fixtures are single modules in secret scope — the leak shapes
+the intra-procedural pass (SEC001/SEC002) structurally cannot see: secrets
+returned through helpers, sunk inside callees, or parked in innocuously
+named attributes and read back elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.base import ModuleContext
+from repro.analysis.callgraph import build_program
+from repro.analysis.dataflow import propagate_raises
+
+HIP_PATH = "src/repro/hip/daemon.py"
+
+
+def findings(source: str, rule: str, path: str = HIP_PATH) -> list:
+    return [
+        f
+        for f in analyze_source(textwrap.dedent(source), path, rules={rule})
+        if not f.suppressed and f.rule == rule
+    ]
+
+
+def program(*modules):
+    ctxs = [
+        ModuleContext(path=path, source=textwrap.dedent(src),
+                      tree=ast.parse(textwrap.dedent(src)))
+        for path, src in modules
+    ]
+    return build_program(ctxs)
+
+
+# ------------------------------------------------------------------ SEC003 --
+
+
+def test_sec003_secret_returned_through_helper_then_recorded():
+    src = """
+        def derive(assoc):
+            return hip_keymat(assoc, 32)
+
+        def install(assoc):
+            km = derive(assoc)
+            RECORDER.record("hip.install", km=km)
+    """
+    [finding] = findings(src, "SEC003")
+    assert "call boundary" in finding.message
+    assert "flight recorder" in finding.message
+
+
+def test_sec003_secret_passed_into_sinking_callee():
+    src = """
+        def debug_dump(value):
+            RECORDER.record("dbg", v=value)
+
+        def f(assoc):
+            debug_dump(assoc.keymat)
+    """
+    assert findings(src, "SEC003")
+
+
+def test_sec003_two_hop_return_chain():
+    src = """
+        def inner(assoc):
+            return hkdf_expand(assoc.keymat, b"salt", 32)
+
+        def outer(assoc):
+            return inner(assoc)
+
+        def f(assoc, pkt):
+            pkt.add(HMAC_PARAM, outer(assoc))
+    """
+    [finding] = findings(src, "SEC003")
+    assert "packet parameter" in finding.message
+
+
+def test_sec003_negative_declassified_before_sink():
+    src = """
+        def derive(assoc):
+            return hip_keymat(assoc, 32)
+
+        def install(assoc):
+            km = derive(assoc)
+            RECORDER.record("hip.install", km_len=len(km))
+    """
+    assert not findings(src, "SEC003")
+
+
+def test_sec003_negative_intra_leak_is_sec001_territory():
+    """A direct one-function leak belongs to SEC001; SEC003 must stay
+    quiet so each finding has exactly one rule."""
+    src = """
+        def f(assoc):
+            RECORDER.record("hip.keymat", keymat=assoc.keymat)
+    """
+    assert not findings(src, "SEC003")
+    assert findings(src, "SEC001")
+
+
+def test_sec003_negative_secret_kept_internal():
+    src = """
+        def derive(assoc):
+            return hip_keymat(assoc, 32)
+
+        def install(assoc):
+            assoc.session_key = derive(assoc)
+    """
+    assert not findings(src, "SEC003")
+
+
+# ------------------------------------------------------------------ SEC004 --
+
+
+def test_sec004_attribute_roundtrip_to_recorder():
+    src = """
+        class Daemon:
+            def setup(self, assoc):
+                self._stash = hip_keymat(assoc, 32)
+
+            def report(self):
+                RECORDER.record("hip.debug", stash=self._stash)
+    """
+    [finding] = findings(src, "SEC004")
+    assert "_stash" in finding.message
+    assert "flight recorder" in finding.message
+
+
+def test_sec004_message_names_assignment_origin():
+    src = """
+        class Daemon:
+            def setup(self, assoc):
+                self._stash = hip_keymat(assoc, 32)
+
+            def report(self):
+                RECORDER.record("hip.debug", stash=self._stash)
+    """
+    [finding] = findings(src, "SEC004")
+    assert "assigned key material at" in finding.message
+
+
+def test_sec004_negative_attribute_never_sunk():
+    src = """
+        class Daemon:
+            def setup(self, assoc):
+                self._stash = hip_keymat(assoc, 32)
+
+            def use(self, pkt):
+                return esp_encrypt(self._stash, pkt)
+    """
+    assert not findings(src, "SEC004")
+
+
+def test_sec004_negative_clean_attribute():
+    src = """
+        class Daemon:
+            def setup(self, count):
+                self._stash = count
+
+            def report(self):
+                RECORDER.record("hip.debug", stash=self._stash)
+    """
+    assert not findings(src, "SEC004")
+
+
+# -------------------------------------------------------- propagate_raises --
+
+
+def test_propagate_raises_chain():
+    _, graph = program(("src/repro/m.py", """
+        def parse(data):
+            pass
+
+        def handle(data):
+            parse(data)
+
+        def serve(data):
+            handle(data)
+    """))
+    local = {"repro.m.parse": frozenset({"struct.error"})}
+    escapes = propagate_raises(graph, local, {})
+    assert "struct.error" in escapes["repro.m.handle"]
+    assert "struct.error" in escapes["repro.m.serve"]
+
+
+def test_propagate_raises_stops_at_catching_caller():
+    _, graph = program(("src/repro/m.py", """
+        def parse(data):
+            pass
+
+        def serve(data):
+            parse(data)
+    """))
+    local = {"repro.m.parse": frozenset({"struct.error"})}
+    caught = {("repro.m.serve", "repro.m.parse"): frozenset({"struct.error"})}
+    escapes = propagate_raises(graph, local, caught)
+    assert "struct.error" not in escapes["repro.m.serve"]
+
+
+def test_propagate_raises_partial_catch_leaves_rest():
+    _, graph = program(("src/repro/m.py", """
+        def parse(data):
+            pass
+
+        def serve(data):
+            parse(data)
+    """))
+    local = {"repro.m.parse": frozenset({"struct.error", "IndexError"})}
+    caught = {("repro.m.serve", "repro.m.parse"): frozenset({"struct.error"})}
+    escapes = propagate_raises(graph, local, caught)
+    assert escapes["repro.m.serve"] == frozenset({"IndexError"})
+
+
+def test_propagate_raises_through_cycle():
+    _, graph = program(("src/repro/m.py", """
+        def a(n):
+            b(n)
+
+        def b(n):
+            a(n)
+
+        def entry(n):
+            a(n)
+    """))
+    local = {"repro.m.b": frozenset({"IndexError"})}
+    escapes = propagate_raises(graph, local, {})
+    assert "IndexError" in escapes["repro.m.a"]
+    assert "IndexError" in escapes["repro.m.entry"]

@@ -1,0 +1,274 @@
+"""Untrusted wire-input validation tests (VAL001/VAL002/VAL003).
+
+The fixtures are the shapes this pass caught (and we then fixed) in the
+real parsers — dns, teredo, tls — plus clean twins proving each guard
+idiom actually discharges the obligation: dominating length checks,
+exact-length equality, pending slice-length discharge, and validated
+offsets surviving ``off += k`` advancement.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+DNS_PATH = "src/repro/net/dns.py"
+
+
+def findings(source: str, rule: str, path: str = DNS_PATH) -> list:
+    return [
+        f
+        for f in analyze_source(textwrap.dedent(source), path, rules={rule})
+        if not f.suppressed and f.rule == rule
+    ]
+
+
+# ------------------------------------------------------------------ VAL001 --
+
+
+def test_val001_wire_count_bounds_allocation():
+    src = """
+        import struct
+
+        def decode(data):
+            (n,) = struct.unpack_from(">H", data, 0)
+            return bytearray(n)
+    """
+    [finding] = findings(src, "VAL001")
+    assert "bytearray" in finding.message or "alloc" in finding.message.lower()
+
+
+def test_val001_negative_range_guard_discharges():
+    src = """
+        import struct
+
+        def decode(data):
+            (n,) = struct.unpack_from(">H", data, 0)
+            if n > 64:
+                raise ValueError("bad count")
+            return bytearray(n)
+    """
+    assert not findings(src, "VAL001")
+
+
+def test_val001_wire_count_bounds_loop():
+    src = """
+        import struct
+
+        def decode(data):
+            (n,) = struct.unpack_from(">B", data, 0)
+            out = []
+            for i in range(n):
+                out.append(i)
+            return out
+    """
+    assert findings(src, "VAL001")
+
+
+def test_val001_negative_loop_guarded_against_buffer():
+    """The rendezvous-list shape from the dns fix: prove the loop's total
+    consumption fits the buffer before iterating."""
+    src = """
+        import struct
+
+        def decode(data):
+            (n,) = struct.unpack_from(">B", data, 0)
+            if 1 + 2 * n > len(data):
+                raise ValueError("short")
+            out = []
+            for i in range(n):
+                out.append(i)
+            return out
+    """
+    assert not findings(src, "VAL001")
+
+
+def test_val001_wire_int_indexes_buffer():
+    src = """
+        import struct
+
+        def decode(data):
+            if len(data) < 3:
+                raise ValueError("short")
+            (n,) = struct.unpack_from(">H", data, 0)
+            return data[n]
+    """
+    assert findings(src, "VAL001")
+
+
+def test_val001_negative_bytes_of_buffer_is_a_copy():
+    """``bytes(buf)`` copies; only ``bytes(n)`` allocates n zeros."""
+    src = """
+        def decode(data):
+            if len(data) < 4:
+                raise ValueError("short")
+            return bytes(data)
+    """
+    assert not findings(src, "VAL001")
+
+
+# ------------------------------------------------------------------ VAL002 --
+
+
+def test_val002_unproven_slice_silently_truncates():
+    src = """
+        def decode(data):
+            head = data[:5]
+            return head
+    """
+    [finding] = findings(src, "VAL002")
+    assert "trunc" in finding.message.lower() or "slic" in finding.message.lower()
+
+
+def test_val002_negative_dominating_length_check():
+    src = """
+        def decode(data):
+            if len(data) < 5:
+                raise ValueError("short")
+            head = data[:5]
+            return head
+    """
+    assert not findings(src, "VAL002")
+
+
+def test_val002_negative_pending_length_discharge():
+    """``value = data[o:o+n]`` followed by ``len(value)`` verification is
+    the guard idiom itself — slicing first, then checking the result."""
+    src = """
+        def decode(data):
+            value = data[0:7]
+            if len(value) != 7:
+                raise ValueError("short")
+            return value
+    """
+    assert not findings(src, "VAL002")
+
+
+def test_val002_negative_exact_length_equality():
+    """The teredo parse_ra shape: an exact-length gate proves every
+    in-bounds slice at once."""
+    src = """
+        import struct
+
+        def parse(data):
+            if len(data) != 7:
+                raise ValueError("bad length")
+            (port,) = struct.unpack(">H", bytes(data[5:7]))
+            return port
+    """
+    assert not findings(src, "VAL002")
+
+
+def test_val002_yield_recvfrom_marks_wire_buffer():
+    """``data, src = yield sock.recvfrom()`` must mark ``data`` as wire
+    input — the miss that hid the teredo ``_await_ra`` bug."""
+    src = """
+        def _serve(sock):
+            while True:
+                data, src = yield sock.recvfrom()
+                head = data[:5]
+    """
+    assert findings(src, "VAL002")
+
+
+# ------------------------------------------------------------------ VAL003 --
+
+
+def test_val003_unguarded_unpack_escapes():
+    src = """
+        import struct
+
+        def decode(data):
+            (n,) = struct.unpack(">H", data)
+            return n
+    """
+    [finding] = findings(src, "VAL003")
+    assert "struct.error" in finding.message
+    assert "domain parse error" in finding.message
+
+
+def test_val003_negative_wrapped_in_domain_error():
+    src = """
+        import struct
+
+        def decode(data):
+            try:
+                (n,) = struct.unpack(">H", data)
+            except struct.error as exc:
+                raise ValueError("short") from exc
+            return n
+    """
+    assert not findings(src, "VAL003")
+
+
+def test_val003_negative_length_guard_proves_unpack():
+    src = """
+        import struct
+
+        def decode(data):
+            if len(data) < 2:
+                raise ValueError("short")
+            (n,) = struct.unpack_from(">H", data, 0)
+            return n
+    """
+    assert not findings(src, "VAL003")
+
+
+def test_val003_escape_propagates_to_caller():
+    src = """
+        import struct
+
+        def _inner(data):
+            (n,) = struct.unpack(">H", data)
+            return n
+
+        def decode(data):
+            return _inner(data)
+    """
+    assert len(findings(src, "VAL003")) == 2
+
+
+def test_val003_validated_offset_survives_augassign():
+    """The dns decode_response shape: a guard covering the advanced offset
+    must keep the offset validated through ``off += 16``."""
+    src = """
+        import struct
+
+        def decode(data):
+            off = 1
+            if off + 18 > len(data):
+                raise ValueError("short")
+            off += 16
+            (n,) = struct.unpack_from(">H", data, off)
+            return n
+    """
+    assert not findings(src, "VAL003")
+
+
+def test_val003_unproven_advanced_offset_still_flagged():
+    src = """
+        import struct
+
+        def decode(data):
+            off = 1
+            off += 16
+            (n,) = struct.unpack_from(">H", data, off)
+            return n
+    """
+    assert findings(src, "VAL003")
+
+
+# ------------------------------------------------------------------- scope --
+
+
+def test_val_rules_only_fire_in_scoped_modules():
+    src = """
+        import struct
+
+        def decode(data):
+            (n,) = struct.unpack(">H", data)
+            return data[:5], bytearray(n)
+    """
+    for rule in ("VAL001", "VAL002", "VAL003"):
+        assert not findings(src, rule, path="src/repro/sim/engine.py")

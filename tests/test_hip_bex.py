@@ -288,3 +288,28 @@ class TestConfigVariants:
             sim.run(until=proc)
             costs[k] = da.meter.seconds.get("puzzle.solve", 0.0)
         assert costs[10] > costs[0] * 8
+
+
+class TestEspMeterKeys:
+    def test_dataplane_charges_prebound_meter_keys(self, hip_pair, drive):
+        """The ESP fast path charges the four pre-bound meter keys (no
+        per-packet f-string key formatting); both addressing modes land
+        under their own key."""
+        sim, a, b, da, db = hip_pair
+        icmp_a, _ = IcmpStack(a), IcmpStack(b)
+
+        def flow():
+            yield sim.process(ping(icmp_a, db.hit, count=3, interval=0.01))
+            yield sim.process(
+                ping(icmp_a, da.lsi_for_peer(db.hit), count=3, interval=0.01)
+            )
+            return True
+
+        assert drive(sim, flow()) is True
+        assert da.meter.ops.get("esp.encrypt.hit", 0) >= 3
+        assert da.meter.ops.get("esp.encrypt.lsi", 0) >= 3
+        assert db.meter.ops.get("esp.decrypt.hit", 0) >= 3
+        assert db.meter.ops.get("esp.decrypt.lsi", 0) >= 3
+        # No stray dynamically-formatted variants crept back in.
+        assert not [k for k in da.meter.ops if k.startswith("esp.encrypt.")
+                    and k not in ("esp.encrypt.hit", "esp.encrypt.lsi")]

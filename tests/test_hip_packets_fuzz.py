@@ -14,6 +14,7 @@ import pytest
 
 from repro.hip import packets as hp
 from repro.net.addresses import IPAddress
+from tests.wire_fuzz import stomp_fields, sweep_byte_flips, sweep_truncations
 
 RNG = random.Random(0x51EE7)
 ROUNDS = 25
@@ -91,10 +92,7 @@ _PAIRS = [
 class TestTruncationNeverEscapesStructError:
     @pytest.mark.parametrize("build, parse", _PAIRS, ids=lambda p: getattr(p, "__name__", "build"))
     def test_every_strict_prefix_rejected(self, build, parse):
-        full = build(RNG)
-        for cut in range(len(full)):
-            with pytest.raises(hp.HipParseError):
-                parse(full[:cut])
+        sweep_truncations(build(RNG), parse, hp.HipParseError)
 
     def test_variable_stride_parsers_reject_ragged_lengths(self):
         full = hp.build_ack([1, 2, 3])
@@ -151,24 +149,17 @@ class TestPacketRoundTrips:
         pkt = self._random_packet(random.Random(7))
         while not pkt.params:
             pkt = self._random_packet(random.Random(8))
-        raw = pkt.serialize()
-        for cut in range(len(raw)):
-            with pytest.raises(hp.HipParseError):
-                hp.HipPacket.parse(raw[:cut])
+        sweep_truncations(pkt.serialize(), hp.HipPacket.parse, hp.HipParseError)
 
     def test_random_byte_flips_never_raise_struct_error(self):
         rng = random.Random(0xF1175)
-        pkt = self._random_packet(rng)
-        raw = bytearray(pkt.serialize())
-        for _ in range(200):
-            pos = rng.randrange(len(raw))
-            old = raw[pos]
-            raw[pos] ^= 1 << rng.randrange(8)
-            try:
-                hp.HipPacket.parse(bytes(raw))
-            except hp.HipParseError:
-                pass  # rejection is fine; struct.error would not be
-            raw[pos] = old
+        raw = self._random_packet(rng).serialize()
+        sweep_byte_flips(raw, hp.HipPacket.parse, hp.HipParseError, rng)
+
+    def test_length_field_stomps_never_raise_struct_error(self):
+        rng = random.Random(0x57034)
+        raw = self._random_packet(rng).serialize()
+        stomp_fields(raw, hp.HipPacket.parse, hp.HipParseError, rng)
 
     def test_oversized_param_rejected_at_serialize(self):
         with pytest.raises(hp.HipParseError):

@@ -243,3 +243,45 @@ class TestTeredoService:
         sim.run(until=30)
         assert got.get("data") == b"over v6!!"
         assert got.get("reply") == b"tunneled"
+
+
+class TestTeredoHostileInput:
+    """Regressions for the RA hardening: a truncated or corrupt router
+    advertisement must never kill the client's qualification loop."""
+
+    def test_parse_ra_roundtrip(self):
+        import struct
+
+        from repro.net.teredo import parse_ra
+
+        ra = b"\x02" + ipv4("198.51.100.1").packed() + struct.pack(">H", 4242)
+        assert parse_ra(ra) == (ipv4("198.51.100.1"), 4242)
+
+    def test_parse_ra_rejects_wrong_lengths(self):
+        from repro.net.teredo import TeredoParseError, parse_ra
+
+        for n in (0, 1, 5, 7, 40):  # total length 1 + n != 7
+            with pytest.raises(TeredoParseError):
+                parse_ra(b"\x02" + b"\x00" * n)
+
+    def test_hostile_ra_ignored_during_qualification(self, sim, natted_net, drive):
+        import struct
+
+        from repro.net.teredo import TEREDO_PORT
+
+        net = natted_net
+        sock = net["udp_srv"].bind(TEREDO_PORT)
+
+        def hostile_then_honest_server():
+            _data, (src, port) = yield sock.recvfrom()
+            # A truncated RA used to escape as struct.error from _await_ra
+            # and kill the qualification process.
+            sock.sendto(b"\x02\x01", src, port)
+            sock.sendto(b"\x02" + src.packed() + struct.pack(">H", port), src, port)
+
+        sim.process(hostile_then_honest_server())
+        client = TeredoClient(net["a"], net["udp_a"], ipv4("203.0.113.1"))
+        addr = drive(sim, client.qualify())
+        server, mapped, _port = parse_teredo_address(addr)
+        assert server == ipv4("203.0.113.1")
+        assert mapped == ipv4("198.51.100.1")

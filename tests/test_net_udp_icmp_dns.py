@@ -4,6 +4,7 @@ import pytest
 
 from repro.net.addresses import ipv4
 from repro.net.dns import (
+    DnsDecodeError,
     DnsRecord,
     DnsResolver,
     DnsServer,
@@ -195,3 +196,77 @@ class TestDnsService:
 
         proc = sim.process(flow())
         assert sim.run(until=proc) is True
+
+
+class TestDnsHostileInput:
+    """Regressions for the decode hardening: malformed wire input must
+    surface as DnsDecodeError (a ValueError), never struct.error or
+    IndexError, and neither endpoint may die on a hostile datagram."""
+
+    def test_truncated_query_raises_domain_error(self):
+        raw = encode_query("www.example.com", "A", 7)
+        for cut in (0, 1, 2, 4, len(raw) - 1):
+            with pytest.raises(DnsDecodeError):
+                decode_query(raw[:cut])
+
+    def test_truncated_response_raises_domain_error(self):
+        record = DnsRecord(name="h", rtype="A", ttl=60.0, address=ipv4("1.2.3.4"))
+        raw = encode_response(9, [record])
+        for cut in (0, 4, 6, len(raw) - 1):
+            with pytest.raises(DnsDecodeError):
+                decode_response(raw[:cut])
+
+    def test_address_family_mismatch_rejected(self):
+        record = DnsRecord(name="h", rtype="A", ttl=60.0, address=ipv4("1.2.3.4"))
+        raw = encode_response(9, [record])
+        # The family byte sits after header(5) + name(2+1) + rtype(2+1) + ttl(4).
+        assert raw[15] == 4
+        mutated = raw[:15] + bytes([6]) + raw[16:]
+        with pytest.raises(DnsDecodeError, match="family-6"):
+            decode_response(mutated)
+
+    def test_inflated_rendezvous_count_rejected(self):
+        from repro.net.addresses import ipv6
+
+        record = DnsRecord(name="vm", rtype="HIP", ttl=30.0,
+                           hit=ipv6("2001:10::42"), host_id=b"k", rvs=())
+        raw = encode_response(1, [record])
+        # With no rendezvous names the count byte is the final byte.
+        mutated = raw[:-1] + b"\xff"
+        with pytest.raises(DnsDecodeError):
+            decode_response(mutated)
+
+    def test_server_survives_malformed_queries(self, lan, drive):
+        sim, a, b = lan
+        ua, ub = UdpStack(a), UdpStack(b)
+        zone = Zone()
+        zone.add(DnsRecord(name="db.internal", rtype="A", ttl=10.0,
+                           address=ipv4("10.0.0.2")))
+        server = DnsServer(b, ub, zone=zone)
+        attacker = ua.bind(0)
+        for hostile in (b"", b"\x00", b"\x00\x01\x02\xff", b"\xff" * 40):
+            attacker.sendto(hostile, B, 53)
+        sim.run(until=1.0)
+        resolver = DnsResolver(a, ua, server_addr=B)
+        records = drive(sim, resolver.query("db.internal", "A"))
+        assert records[0].address == ipv4("10.0.0.2")
+        assert server.queries_served == 1  # hostile datagrams never counted
+
+    def test_resolver_retries_past_hostile_response(self, lan, drive):
+        sim, a, b = lan
+        ua, ub = UdpStack(a), UdpStack(b)
+        sock = ub.bind(53)
+        record = DnsRecord(name="db.internal", rtype="A", ttl=10.0,
+                           address=ipv4("10.0.0.2"))
+
+        def hostile_then_honest():
+            _data, (src, port) = yield sock.recvfrom()
+            sock.sendto(b"\x00\x01\x02", src, port)  # corrupt: short header
+            data, (src, port) = yield sock.recvfrom()
+            qid, _qname, _qtype = decode_query(bytes(data))
+            sock.sendto(encode_response(qid, [record]), src, port)
+
+        sim.process(hostile_then_honest())
+        resolver = DnsResolver(a, ua, server_addr=B)
+        records = drive(sim, resolver.query("db.internal", "A", timeout=1.0, retries=2))
+        assert records[0].address == ipv4("10.0.0.2")

@@ -264,3 +264,124 @@ class TestSslVpn:
         node = Simulator and lan_pair(sim, "x", "y")[0]
         with pytest.raises(ValueError):
             SslVpnDaemon(node, ipv4("9.9.9.9"), server_keypair, rng=random.Random(1))
+
+
+class TestMalformedHandshake:
+    """Regressions for the handshake length guards: a hostile peer's
+    crafted message must raise TlsError, never silently truncate session
+    ids / randoms (the old behaviour) or escape a struct.error."""
+
+    def _server_error(self, tls_net, body, mtype=None):
+        """Drive tls_server_handshake against one raw client message."""
+        import struct as _struct
+
+        from repro.tls.connection import CLIENT_HELLO
+
+        sim, a, b, ta, tb, ctx = tls_net
+        listener = tb._listeners.get(443) or tb.listen(443)
+        out = {}
+
+        def server():
+            conn = yield listener.accept()
+            try:
+                yield from tls_server_handshake(conn, b, ctx, random.Random(5))
+            except TlsError as exc:
+                out["error"] = exc
+
+        def client():
+            conn = yield sim.process(ta.open_connection(B, 443))
+            code = CLIENT_HELLO if mtype is None else mtype
+            conn.write(_struct.pack(">BHH", 22, code, len(body)) + body)
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=sim.now + 5)
+        return out.get("error")
+
+    def _client_error(self, tls_net, messages):
+        """Drive tls_client_handshake against raw server messages."""
+        import struct as _struct
+
+        sim, a, b, ta, tb, _ctx = tls_net
+        listener = tb._listeners.get(443) or tb.listen(443)
+        out = {}
+
+        def server():
+            conn = yield listener.accept()
+            for mtype, body in messages:
+                conn.write(_struct.pack(">BHH", 22, mtype, len(body)) + body)
+
+        def client():
+            conn = yield sim.process(ta.open_connection(B, 443))
+            try:
+                yield from tls_client_handshake(conn, a, random.Random(6))
+            except TlsError as exc:
+                out["error"] = exc
+
+        sim.process(server())
+        sim.process(client())
+        sim.run(until=sim.now + 5)
+        return out.get("error")
+
+    def test_short_client_hello_rejected(self, tls_net):
+        err = self._server_error(tls_net, b"\x00")
+        assert err is not None and "too short" in str(err)
+
+    def test_client_hello_inflated_sid_len_rejected(self, tls_net):
+        import struct as _struct
+
+        # Claims a 64-byte session id but carries only 32 bytes of body:
+        # the old code silently truncated and ran the PRF on an empty
+        # client_random.
+        body = _struct.pack(">H", 64) + b"\x00" * 32
+        err = self._server_error(tls_net, body)
+        assert err is not None and "length mismatch" in str(err)
+
+    def test_short_server_hello_rejected(self, tls_net):
+        from repro.tls.connection import SERVER_HELLO
+
+        err = self._client_error(tls_net, [(SERVER_HELLO, b"\x01")])
+        assert err is not None and "too short" in str(err)
+
+    def test_server_hello_inflated_sid_len_rejected(self, tls_net):
+        import struct as _struct
+
+        from repro.tls.connection import SERVER_HELLO
+
+        body = _struct.pack(">H", 200) + b"\x00" * 33
+        err = self._client_error(tls_net, [(SERVER_HELLO, body)])
+        assert err is not None and "length mismatch" in str(err)
+
+    def test_certificate_key_overrun_rejected(self, tls_net):
+        import struct as _struct
+
+        from repro.tls.connection import CERTIFICATE, SERVER_HELLO
+
+        sid = b"\x11" * 16
+        hello = _struct.pack(">H", len(sid)) + sid + b"\x22" * 32 + b"\x00"
+        cert = _struct.pack(">H", 1000) + b"\x00" * 10  # key_len past the end
+        err = self._client_error(
+            tls_net, [(SERVER_HELLO, hello), (CERTIFICATE, cert)]
+        )
+        assert err is not None and "runs past end" in str(err)
+
+    def test_short_record_body_rejected(self, tls_net):
+        import struct as _struct
+
+        sim, a, b, ta, tb, ctx = tls_net
+        cli, srv = run_handshake(sim, a, b, ta, tb, ctx)
+        out = {}
+
+        # A real-bytes record shorter than IV + MAC used to slice into
+        # nonsense and fail deep inside CBC; now it is rejected up front.
+        srv.conn.write(_struct.pack(">BHH", 23, 0, 10) + b"\x00" * 10)
+
+        def receiver():
+            try:
+                yield from cli.recv_record()
+            except TlsError as exc:
+                out["error"] = exc
+
+        sim.process(receiver())
+        sim.run(until=sim.now + 5)
+        assert "too short" in str(out.get("error"))

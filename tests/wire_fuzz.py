@@ -1,0 +1,78 @@
+"""Shared wire-parser fuzzing helpers.
+
+Every wire codec in the tree owes its callers the same contract: malformed
+input raises the codec's *domain* error (``HipParseError``,
+``DnsDecodeError``, ``TeredoParseError``) — never a raw ``struct.error``
+or ``IndexError``.  These helpers drive that contract with truncation
+sweeps, seeded byte flips and length/count-field stomps; the HIP, DNS and
+Teredo fuzz suites share them so a new parser only has to plug in its
+builder, parser and error type.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["sweep_truncations", "sweep_byte_flips", "stomp_fields"]
+
+
+def sweep_truncations(raw: bytes, parse, error) -> None:
+    """Every strict prefix of ``raw`` must be rejected with ``error``.
+
+    Any other exception (``struct.error``, ``IndexError``) propagates and
+    fails the calling test; silent acceptance fails it explicitly.
+    """
+    for cut in range(len(raw)):
+        try:
+            parse(raw[:cut])
+        except error:
+            continue
+        raise AssertionError(
+            f"parser accepted truncation to {cut} of {len(raw)} bytes"
+        )
+
+
+def sweep_byte_flips(raw: bytes, parse, error, rng, rounds: int = 200) -> None:
+    """Seeded single-bit corruptions must parse or raise ``error``.
+
+    A successful parse of a corrupted message is acceptable (the flip may
+    land in an opaque field); a raw ``struct.error`` / ``IndexError`` is
+    not, and propagates to fail the calling test.
+    """
+    buf = bytearray(raw)
+    for _ in range(rounds):
+        pos = rng.randrange(len(buf))
+        bit = 1 << rng.randrange(8)
+        buf[pos] ^= bit
+        try:
+            parse(bytes(buf))
+        except error:
+            pass
+        buf[pos] ^= bit
+
+
+_STOMP_1 = (0x00, 0x01, 0x7F, 0xFF)
+_STOMP_2 = (0x0000, 0x0001, 0x7FFF, 0xFFFF)
+
+
+def stomp_fields(raw: bytes, parse, error, rng, rounds: int = 64) -> None:
+    """Overwrite seeded 1- and 2-byte windows with boundary values.
+
+    This is the length/count-field attack: a declared length inflated past
+    the buffer, a count of zero, a count of 65535.  The parser must accept
+    or raise ``error`` — anything else propagates.
+    """
+    for _ in range(rounds):
+        width = rng.choice((1, 2))
+        if len(raw) < width:
+            continue
+        pos = rng.randrange(len(raw) - width + 1)
+        if width == 1:
+            patch = bytes([rng.choice(_STOMP_1)])
+        else:
+            patch = struct.pack(">H", rng.choice(_STOMP_2))
+        mutated = raw[:pos] + patch + raw[pos + width:]
+        try:
+            parse(mutated)
+        except error:
+            pass
