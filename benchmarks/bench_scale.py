@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
 import sys
 import time
@@ -37,6 +38,7 @@ import time
 from repro.scenarios.rubis_scale import (
     ScaleParams,
     build_scale_monolithic,
+    plan_fleet,
     scale_builders,
 )
 from repro.sim.shard import ShardedSimulation
@@ -55,11 +57,24 @@ QUICK_FLOOR = 1.5  # relaxed floor for the CI smoke configuration
 FULL_SESSION_FLOOR = 1_000_000
 QUICK_SESSION_FLOOR = 200
 
+#: Parallel-vs-inline wall-clock floors for the scatter-gather coordinator.
+#: Enforced only when the host has at least one core per shard worker —
+#: process workers cannot beat the inline loop on a single-core box, so the
+#: section records ``hardware_limited`` and skips the floor there (the CI
+#: runners have 4 cores).
+FULL_PARALLEL_TARGET = 2.5
+QUICK_PARALLEL_FLOOR = 1.0
+#: Sim-time slice for the full-deployment parallel-vs-inline comparison
+#: (running the inline twin to a million sessions would double the bench).
+PARALLEL_SLICE_SIM_S = 60.0
+
 #: The headline configuration: 4 zones x (32 consumers, 2 web, db, media,
-#: 520 idle multi-tenant micros on a 4x4 plant) = 2096 VMs.
+#: 520 idle multi-tenant micros on a 4x4 plant) = 2096 VMs, plus 8
+#: three-member gossip fleets placed shard-aware (affinity).
 FULL_PARAMS = ScaleParams(
     n_zones=4, n_clients=32, n_web=2, n_filler_vms=520,
     n_racks=4, hosts_per_rack=4, media_prob=0.02, media_window=65536,
+    n_fleets=8, fleet_size=3, fleet_placement="affinity",
 )
 FULL_SIM_S = 470.0
 FULL_BASELINE_SIM_S = 3.0
@@ -67,6 +82,7 @@ FULL_BASELINE_SIM_S = 3.0
 QUICK_PARAMS = ScaleParams(
     n_zones=2, n_clients=3, n_web=2, n_filler_vms=6,
     n_racks=1, hosts_per_rack=2, media_prob=0.1, media_window=65536,
+    n_fleets=2, fleet_size=3, fleet_placement="affinity",
 )
 QUICK_SIM_S = 8.0
 QUICK_BASELINE_SIM_S = 8.0
@@ -75,13 +91,14 @@ QUICK_BASELINE_SIM_S = 8.0
 SMOKE_PARAMS = ScaleParams(
     n_zones=2, n_clients=2, n_web=1, n_filler_vms=2,
     n_racks=1, hosts_per_rack=2, media_prob=0.25, media_window=65536,
+    n_fleets=2, fleet_size=3, fleet_placement="affinity",
 )
 SMOKE_SIM_S = 6.0
 
 _STAT_KEYS = (
     "sessions", "api_sessions", "media_sessions", "media_bytes",
     "fluid_bytes", "fluid_enters", "fluid_exits", "errors",
-    "heartbeats_sent", "heartbeats_recv",
+    "heartbeats_sent", "heartbeats_recv", "fleet_sent", "fleet_recv",
 )
 
 
@@ -93,10 +110,14 @@ def _totals(per_zone: dict) -> dict:
     return {k: sum(z[k] for z in per_zone.values()) for k in _STAT_KEYS}
 
 
-def bench_scale_run(p: ScaleParams, sim_s: float, parallel: bool = True) -> dict:
+def bench_scale_run(
+    p: ScaleParams, sim_s: float, parallel: bool = True, adaptive: bool = True
+) -> dict:
     """The measured configuration: sharded, process workers, fluid media."""
     start = time.perf_counter()
-    sharded = ShardedSimulation(scale_builders(p), SEED, parallel=parallel)
+    sharded = ShardedSimulation(
+        scale_builders(p), SEED, parallel=parallel, adaptive=adaptive
+    )
     build_wall = time.perf_counter() - start
     start = time.perf_counter()
     per_zone = sharded.run(sim_s)
@@ -106,6 +127,7 @@ def bench_scale_run(p: ScaleParams, sim_s: float, parallel: bool = True) -> dict
         "n_vms": n_vms(p),
         "n_zones": p.n_zones,
         "parallel": parallel,
+        "adaptive": adaptive,
         "sim_s": sim_s,
         "build_wall_s": build_wall,
         "wall_clock_s": wall,
@@ -117,6 +139,7 @@ def bench_scale_run(p: ScaleParams, sim_s: float, parallel: bool = True) -> dict
         "fluid_byte_fraction": (
             tot["fluid_bytes"] / tot["media_bytes"] if tot["media_bytes"] else 0.0
         ),
+        "sync": sharded.sync_stats(),
         **tot,
         "per_zone": per_zone,
     }
@@ -140,6 +163,83 @@ def bench_baseline_slice(p: ScaleParams, sim_s: float) -> dict:
         "errors": errors,
         "sessions_per_sim_s": sessions / sim_s,
         "sessions_per_wall_s": sessions / wall,
+    }
+
+
+def bench_parallel_section(p: ScaleParams, sim_s: float, target: float) -> dict:
+    """Inline vs process-worker wall-clock on the same deployment.
+
+    Both runs use the adaptive scatter-gather coordinator; the digests must
+    agree bit-for-bit.  The speedup floor is enforced only when the host
+    has a core per shard worker (``hardware_limited`` otherwise), because
+    process workers cannot outrun the inline loop without real parallelism.
+    """
+    inline = bench_scale_run(p, sim_s, parallel=False)
+    par = bench_scale_run(p, sim_s, parallel=True)
+    for run in (inline, par):
+        run.pop("per_zone")  # headline run carries the per-zone detail
+    speedup = inline["wall_clock_s"] / par["wall_clock_s"]
+    cpu_count = os.cpu_count() or 1
+    hardware_limited = cpu_count < p.n_zones
+    digests_match = inline["boundary_digest"] == par["boundary_digest"]
+    # Adaptive-lookahead schedule check on the smoke config: stretching
+    # windows must never change the digest, and can only reduce the count.
+    static = bench_scale_run(SMOKE_PARAMS, SMOKE_SIM_S, parallel=False,
+                             adaptive=False)
+    adaptive = bench_scale_run(SMOKE_PARAMS, SMOKE_SIM_S, parallel=False)
+    adaptive_ok = (
+        adaptive["windows"] <= static["windows"]
+        and adaptive["boundary_digest"] == static["boundary_digest"]
+    )
+    return {
+        "n_shards": p.n_zones,
+        "sim_s": sim_s,
+        "cpu_count": cpu_count,
+        "hardware_limited": hardware_limited,
+        "target_speedup": target,
+        "measured_speedup": speedup,
+        "digests_match": digests_match,
+        "inline": inline,
+        "process": par,
+        "adaptive_vs_static": {
+            "static_windows": static["windows"],
+            "adaptive_windows": adaptive["windows"],
+            "stretched_windows": adaptive["sync"]["stretched_windows"],
+            "digests_match": adaptive["boundary_digest"]
+            == static["boundary_digest"],
+            "ok": adaptive_ok,
+        },
+        "ok": (
+            digests_match
+            and adaptive_ok
+            and (hardware_limited or speedup >= target)
+        ),
+    }
+
+
+def bench_placement(p: ScaleParams) -> dict:
+    """Shard-aware fleet placement quality: affinity vs scatter plans."""
+    affinity = plan_fleet(dataclasses.replace(p, fleet_placement="affinity"))
+    scatter = plan_fleet(dataclasses.replace(p, fleet_placement="scatter"))
+    if affinity is None or scatter is None:
+        return {"n_fleets": p.n_fleets, "enabled": False}
+    reduction = (
+        1.0 - affinity.quality["cross_weight_fraction"]
+        / scatter.quality["cross_weight_fraction"]
+        if scatter.quality["cross_weight_fraction"]
+        else 0.0
+    )
+    return {
+        "n_fleets": p.n_fleets,
+        "fleet_size": p.fleet_size,
+        "enabled": True,
+        "affinity": affinity.quality,
+        "scatter": scatter.quality,
+        "cross_traffic_reduction": reduction,
+        "ok": (
+            affinity.quality["cross_weight_fraction"]
+            <= scatter.quality["cross_weight_fraction"]
+        ),
     }
 
 
@@ -182,10 +282,14 @@ def run_bench(quick: bool = False) -> dict:
     if quick:
         p, sim_s, base_s = QUICK_PARAMS, QUICK_SIM_S, QUICK_BASELINE_SIM_S
         target, session_floor = QUICK_FLOOR, QUICK_SESSION_FLOOR
+        par_target, par_slice_s = QUICK_PARALLEL_FLOOR, QUICK_SIM_S
     else:
         p, sim_s, base_s = FULL_PARAMS, FULL_SIM_S, FULL_BASELINE_SIM_S
         target, session_floor = FULL_TARGET, FULL_SESSION_FLOOR
+        par_target, par_slice_s = FULL_PARALLEL_TARGET, PARALLEL_SLICE_SIM_S
     determinism = check_determinism()
+    placement = bench_placement(p)
+    parallel = bench_parallel_section(p, par_slice_s, par_target)
     baseline = bench_baseline_slice(p, base_s)
     scale = bench_scale_run(p, sim_s)
     speedup = scale["sessions_per_wall_s"] / baseline["sessions_per_wall_s"]
@@ -195,6 +299,8 @@ def run_bench(quick: bool = False) -> dict:
         "params": dataclasses.asdict(p),
         "results": {
             "determinism": determinism,
+            "placement": placement,
+            "parallel": parallel,
             "baseline_single_shard": baseline,
             "scale_run": scale,
         },
@@ -205,11 +311,18 @@ def run_bench(quick: bool = False) -> dict:
             "session_floor": session_floor,
             "measured_sessions": scale["sessions"],
             "determinism_ok": determinism["ok"],
+            "parallel_target_speedup": par_target,
+            "parallel_measured_speedup": parallel["measured_speedup"],
+            "parallel_hardware_limited": parallel["hardware_limited"],
+            "parallel_ok": parallel["ok"],
+            "placement_ok": placement.get("ok", True),
             "errors": scale["errors"],
             "pass": (
                 speedup >= target
                 and scale["sessions"] >= session_floor
                 and determinism["ok"]
+                and parallel["ok"]
+                and placement.get("ok", True)
             ),
         },
     }
@@ -227,12 +340,26 @@ def main(argv: list[str] | None = None) -> int:
     report = run_bench(quick=quick)
     path = write_report(report)
     det = report["results"]["determinism"]
+    par = report["results"]["parallel"]
+    place = report["results"]["placement"]
     base = report["results"]["baseline_single_shard"]
     scale = report["results"]["scale_run"]
     acc = report["acceptance"]
     print(f"determinism: digests_match={det['digests_match']} "
           f"results_match={det['results_match_monolithic']} "
           f"(fluid enters {det['fluid_enters']}, exits {det['fluid_exits']})")
+    adapt = par["adaptive_vs_static"]
+    print(f"parallel : {par['measured_speedup']:.2f}x process-vs-inline on "
+          f"{par['n_shards']} shards ({par['cpu_count']} cpus"
+          f"{', hardware-limited' if par['hardware_limited'] else ''}), "
+          f"digests_match={par['digests_match']}, adaptive windows "
+          f"{adapt['adaptive_windows']} <= static {adapt['static_windows']} "
+          f"-> {'OK' if par['ok'] else 'FAIL'}")
+    if place.get("enabled"):
+        print(f"placement: affinity cross-traffic "
+              f"{place['affinity']['cross_weight_fraction']:.1%} vs scatter "
+              f"{place['scatter']['cross_weight_fraction']:.1%} "
+              f"({place['n_fleets']} fleets of {place['fleet_size']})")
     print(f"baseline : {base['sessions']:,} sessions over {base['sim_s']:.0f} sim-s "
           f"in {base['wall_clock_s']:.1f}s -> {base['sessions_per_wall_s']:,.0f} sess/s")
     print(f"scale run: {scale['sessions']:,} sessions, {scale['n_vms']:,} VMs, "

@@ -81,7 +81,13 @@ class CausalitySanitizer:
     shards_seen: int = 0
     envelopes_checked: int = 0
     schedules_checked: int = 0
+    windows_checked: int = 0
+    digests_checked: int = 0
     violations: list[Violation] = field(default_factory=list)
+    #: Last window barrier the coordinator announced via :meth:`on_window`.
+    _last_window_end: float = 0.0
+    #: Global-order key of the last envelope folded into the digest.
+    _last_digest_key: tuple[float, int, int] | None = None
     #: id(obj) -> owning shard name.  Guarded by _live so a recycled id of
     #: a collected object cannot alias an old tag: _live keeps every tagged
     #: object alive for the sanitizer's (test-scoped) lifetime.
@@ -231,11 +237,82 @@ class CausalitySanitizer:
         # the very same object now belongs to the destination shard.
         self.track(env.packet, shard.name)
 
+    def on_run_start(self, coordinator: Any) -> None:
+        """A coordinator is starting a run: its digest stream and window
+        schedule begin fresh (one sanitizer may watch several back-to-back
+        runs, e.g. inline-vs-process digest comparisons).  Called in the
+        parent process regardless of worker mode."""
+        self._last_digest_key = None
+        self._last_window_end = 0.0
+
+    def on_window(
+        self, start: float, end: float, next_hint: float, lookahead: float
+    ) -> None:
+        """The coordinator scheduled the next (possibly stretched) window.
+
+        Asserts the adaptive-lookahead safety contract: windows advance
+        monotonically, and a stretched window never extends past
+        ``next_hint + lookahead`` — the earliest instant any shard's next
+        live event (or pending envelope) could produce a cross-shard
+        consequence.
+        """
+        self.windows_checked += 1
+        if end < start - _EPS:
+            self._violate(
+                "window-schedule",
+                "<coordinator>",
+                start,
+                f"window end {end} precedes window start {start}",
+            )
+        limit = max(start, next_hint) + lookahead
+        if end > limit + _EPS:
+            self._violate(
+                "window-schedule",
+                "<coordinator>",
+                start,
+                f"window stretched to {end}, beyond the safe horizon "
+                f"max(start={start}, next_event={next_hint}) + "
+                f"lookahead {lookahead} = {limit}",
+            )
+        self._last_window_end = end
+
+    def on_digest(self, env: "Envelope", barrier: float) -> None:
+        """An envelope is being folded into the boundary digest.
+
+        Asserts digest schedule-invariance: envelopes enter the digest in
+        strictly increasing global ``(arrival, src_index, seq)`` order, and
+        only once the barrier clock has passed their arrival — so any
+        window schedule (static, adaptive, inline, forked) digests the same
+        canonical stream.
+        """
+        self.digests_checked += 1
+        key = (env.arrival, env.src_index, env.seq)
+        last = self._last_digest_key
+        if last is not None and key <= last:
+            self._violate(
+                "digest-order",
+                env.src_shard,
+                env.arrival,
+                f"digest key {key} does not follow {last} in global "
+                "(arrival, src_index, seq) order",
+            )
+        if env.arrival > barrier + _EPS:
+            self._violate(
+                "digest-order",
+                env.src_shard,
+                env.arrival,
+                f"envelope digested at barrier {barrier} before its arrival "
+                f"{env.arrival} was committed",
+            )
+        self._last_digest_key = key
+
     def describe(self) -> str:
         return (
             f"causality sanitizer: {self.shards_seen} shard(s), "
             f"{self.envelopes_checked} envelope(s), "
-            f"{self.schedules_checked} schedule(s) checked, "
+            f"{self.schedules_checked} schedule(s), "
+            f"{self.windows_checked} window(s), "
+            f"{self.digests_checked} digest fold(s) checked, "
             f"{len(self.violations)} violation(s)"
         )
 

@@ -51,6 +51,17 @@ ROOTS = (
     "HipDaemon._protect_and_send",
     "HipDaemon._rx_worker",
     "HipDaemon._fluid_taxer",
+    # The shard coordinator's window loop (PR 10): these run once per sync
+    # window / boundary packet, thousands of times per scale run, and the
+    # scatter-gather speedup evaporates if barrier turnaround regresses.
+    "ShardedSimulation._sync_window",
+    "ShardedSimulation._route_window",
+    "ShardedSimulation._drain_digest",
+    "ShardPortal.send",
+    "Shard.inject",
+    "Shard.advance",
+    "encode_envelopes",
+    "decode_envelopes",
 )
 
 #: Do not follow opaque-receiver CHA edges wider than this.

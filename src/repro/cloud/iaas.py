@@ -46,8 +46,17 @@ class IaasProvider:
         tenant: Tenant,
         instance_type: str | InstanceType = "t1.micro",
         name: str | None = None,
+        host=None,
+        address: "IPAddress | None" = None,
     ) -> VirtualMachine:
-        """Provision and start a VM; returns it in ``running`` state."""
+        """Provision and start a VM; returns it in ``running`` state.
+
+        ``host``/``address`` pin the VM to an explicit physical host and
+        guest address, bypassing the placement policy — used by externally
+        computed plans (e.g. the shard-aware fleet placement pass, which
+        must pre-assign concrete addresses before any VM exists so the plan
+        stays picklable across forked shard workers).
+        """
         if isinstance(instance_type, str):
             try:
                 itype = INSTANCE_TYPES[instance_type]
@@ -58,8 +67,9 @@ class IaasProvider:
         self._vm_counter += 1
         vm_name = name or f"{self.name}-vm{self._vm_counter}"
         vm = VirtualMachine(self.sim, vm_name, itype, tenant)
-        host = self.placement.place(vm, self.datacenter.hosts)
-        host.attach_vm(vm)
+        if host is None:
+            host = self.placement.place(vm, self.datacenter.hosts)
+        host.attach_vm(vm, address=address)
         tenant.vms.append(vm)
         self.instances.append(vm)
         return vm

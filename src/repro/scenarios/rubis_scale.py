@@ -19,6 +19,18 @@ media listener disables the competing-flow fluid guard: its transfers are
 window-limited (wnd/rtt far below any shared link's fair share), so
 concurrent arrivals on the media tier are not modeling disturbances.
 
+Zone-spanning **tenant fleets** exercise the shard-aware placement pass
+(ROADMAP item 1): each fleet is a ring of chatty UDP members whose home
+member is anchored to the fleet's home zone while the rest are assigned by
+:func:`repro.net.topology.plan_shard_placement` to keep ring chat
+shard-local ("affinity") — or deliberately scattered round-robin across
+zones ("scatter", the baseline the benchmark compares against).  The plan
+is computed in the parent from the parameters alone and pins each member to
+a concrete physical host and guest address (``.200+`` inside the host's
+/24, far above the ``.10``-up dynamic allocator), so forked shard workers
+and the monolithic twin deploy the identical fleet without ever seeing each
+other's objects.
+
 Both builders derive every random stream from the zone's shard namespace
 (``RngStreams(seed).spawn("shard:z<i>")``), so the sharded run, the
 monolithic twin, and the multiprocessing run draw identical randomness
@@ -43,17 +55,23 @@ from repro.apps.streams import BufferedReader, PlainStream, StreamClosed
 from repro.cloud.datacenter import DatacenterParams, Internet
 from repro.cloud.iaas import PublicCloud
 from repro.cloud.tenant import SpreadPlacement, Tenant
-from repro.net.addresses import IPAddress, Prefix, ipv4
+from repro.net.addresses import IPAddress, Prefix, ipv4, prefix
 from repro.net.node import Node
 from repro.net.packet import VirtualPayload
 from repro.net.tcp import TcpError, TcpStack
-from repro.net.topology import wire, wire_cross_shard
+from repro.net.topology import (
+    PlacementPlan,
+    plan_shard_placement,
+    wire,
+    wire_cross_shard,
+)
 from repro.net.udp import UdpStack
 from repro.scenarios.rubis_cloud import DB_PORT, FRONTEND_PORT, WEB_PORT
 from repro.sim import RngStreams, Simulator
 
 MEDIA_PORT = 9000
 HEARTBEAT_PORT = 7100
+FLEET_PORT = 7200
 
 # WAN one-way delays: metro-area consumers, a nearby LB, the paper's cloud.
 CLIENT_WAN_DELAY = 2e-3
@@ -80,6 +98,13 @@ class ScaleParams:
     inter_zone_delay: float = 5e-3  # inter-AZ latency == lookahead window
     inter_zone_bps: float = 10e9
     heartbeat_interval: float = 0.25
+    # Zone-spanning tenant fleets (0 disables them): rings of chatty UDP
+    # members whose zone assignment comes from the shard-aware placement
+    # pass ("affinity") or a worst-case round-robin spread ("scatter").
+    n_fleets: int = 0
+    fleet_size: int = 3
+    fleet_interval: float = 0.05
+    fleet_placement: str = "affinity"  # "affinity" | "scatter"
 
 
 @dataclass
@@ -95,6 +120,8 @@ class ZoneStats:
     errors: int = 0
     heartbeats_sent: int = 0
     heartbeats_recv: int = 0
+    fleet_sent: int = 0
+    fleet_recv: int = 0
 
     @property
     def sessions(self) -> int:
@@ -136,6 +163,18 @@ def _cross_link_addrs(i: int, j: int) -> tuple[IPAddress, IPAddress]:
 
 def _ring_neighbors(i: int, n: int) -> list[int]:
     return sorted({(i - 1) % n, (i + 1) % n} - {i})
+
+
+def _ring_next_hop(i: int, j: int, n: int) -> int:
+    """Ring-shortest next hop from zone ``i`` toward zone ``j``.
+
+    Ties (the antipodal zone on an even ring) break clockwise, and both
+    builders use this helper, so sharded and monolithic runs forward
+    multi-hop fleet traffic over the identical sequence of inter-AZ links.
+    """
+    forward = (j - i) % n
+    backward = (i - j) % n
+    return (i + 1) % n if forward <= backward else (i - 1) % n
 
 
 def _build_zone(sim: Simulator, zrngs, zone_index: int, p: ScaleParams) -> Zone:
@@ -333,6 +372,145 @@ def _fetch_media(sim, stats: ZoneStats, tcp: TcpStack, media_addr, p) -> Generat
         return
 
 
+# ------------------------------------------------------------ tenant fleets --
+
+
+@dataclass
+class FleetPlan:
+    """Picklable fleet deployment: every member pinned to zone/host/address.
+
+    Computed once in the parent process from the parameters alone (no
+    simulator objects), so forked shard workers and the monolithic twin can
+    each deploy exactly their slice of the identical plan.
+    """
+
+    placement: str
+    n_zones: int
+    #: (fleet, member) -> (zone index, flat host index, guest address).
+    members: dict[tuple[int, int], tuple[int, int, str]]
+    #: Placement-quality stats from :meth:`PlacementPlan.quality`.
+    quality: dict
+
+    def zone_members(self, zone_index: int) -> list[tuple[int, int]]:
+        return sorted(
+            m for m, (zone, _h, _a) in self.members.items() if zone == zone_index
+        )
+
+
+def _fleet_edges(p: ScaleParams) -> list[tuple[tuple[int, int], tuple[int, int], float]]:
+    """Undirected ring-chat edges between each fleet's members."""
+    edges = []
+    for f in range(p.n_fleets):
+        seen: set[frozenset] = set()
+        for k in range(p.fleet_size):
+            a, b = (f, k), (f, (k + 1) % p.fleet_size)
+            pair = frozenset((a, b))
+            if a == b or pair in seen:
+                continue
+            seen.add(pair)
+            edges.append((a, b, 1.0))
+    return edges
+
+
+def plan_fleet(p: ScaleParams) -> FleetPlan | None:
+    """Assign every fleet member a zone, physical host, and guest address.
+
+    ``affinity`` runs :func:`plan_shard_placement` with each fleet's member
+    0 anchored to its home zone (``fleet % n_zones``) — the shard-aware
+    pass that keeps ring chat inside one shard wherever balance allows.
+    ``scatter`` is the adversarial baseline: members round-robin across
+    zones starting at the home zone, so nearly every ring edge crosses a
+    shard boundary.  Hosts fill round-robin per zone; addresses take the
+    ``.200+`` tail of each host's /24 guest subnet, far above the dynamic
+    allocator's ``.10``-up range.
+    """
+    if p.n_fleets <= 0:
+        return None
+    if p.fleet_placement not in ("affinity", "scatter"):
+        raise ValueError(f"unknown fleet placement {p.fleet_placement!r}")
+    items = [(f, k) for f in range(p.n_fleets) for k in range(p.fleet_size)]
+    edges = _fleet_edges(p)
+    anchors = {(f, 0): f % p.n_zones for f in range(p.n_fleets)}
+    if p.fleet_placement == "affinity":
+        plan = plan_shard_placement(items, edges, p.n_zones, anchors=anchors)
+    else:
+        assignment = {
+            (f, k): (f % p.n_zones + k) % p.n_zones for f, k in items
+        }
+        plan = PlacementPlan(
+            n_shards=p.n_zones,
+            assignment=assignment,
+            edges=edges,
+            weights={item: 1.0 for item in items},
+        )
+    n_hosts = p.n_racks * p.hosts_per_rack
+    per_zone = [0] * p.n_zones
+    members: dict[tuple[int, int], tuple[int, int, str]] = {}
+    for item in items:
+        zone = plan.assignment[item]
+        slot = per_zone[zone]
+        per_zone[zone] += 1
+        host_index = slot % n_hosts
+        octet = 200 + slot // n_hosts
+        if octet > 254:
+            raise ValueError(
+                f"zone z{zone} fleet membership exceeds pinned-address space"
+            )
+        rack = host_index // p.hosts_per_rack
+        host_in_rack = host_index % p.hosts_per_rack
+        addr = f"{_zone_base_octet(zone)}.{rack}.{host_in_rack + 1}.{octet}"
+        members[item] = (zone, host_index, addr)
+    return FleetPlan(
+        placement=p.fleet_placement,
+        n_zones=p.n_zones,
+        members=members,
+        quality=plan.quality(),
+    )
+
+
+def _fleet_chat_tx(sim, stats: ZoneStats, sock, peer_addr, fleet: int,
+                   member: int, interval: float, rng) -> Generator:
+    # Desynchronised start, from the zone's own RNG namespace.
+    yield sim.timeout(rng.random() * interval)
+    beat = 0
+    while True:
+        yield sim.timeout(interval)
+        beat += 1
+        sock.sendto(b"fleet:%d:%d:%d" % (fleet, member, beat),
+                    peer_addr, FLEET_PORT)
+        stats.fleet_sent += 1
+
+
+def _fleet_chat_rx(stats: ZoneStats, sock) -> Generator:
+    while True:
+        yield sock.recvfrom()
+        stats.fleet_recv += 1
+
+
+def _deploy_fleet(sim, zrngs, zone: Zone, zone_index: int, plan: FleetPlan,
+                  p: ScaleParams) -> None:
+    """Launch this zone's slice of the fleet plan and start its chatter."""
+    hosts = zone.provider.datacenter.hosts
+    stats = zone.stats
+    for f, k in plan.zone_members(zone_index):
+        _zone, host_index, addr = plan.members[(f, k)]
+        vm = zone.provider.launch(
+            Tenant(f"fleet{f}"), "t1.micro", name=f"z{zone_index}-fleet{f}m{k}",
+            host=hosts[host_index], address=ipv4(addr),
+        )
+        peer = (f, (k + 1) % p.fleet_size)
+        sock = UdpStack(vm).bind(FLEET_PORT)
+        sim.process(_fleet_chat_rx(stats, sock), name=f"{vm.name}-rx")
+        if peer == (f, k):
+            continue  # single-member fleet: nothing to chat with
+        peer_addr = ipv4(plan.members[peer][2])
+        sim.process(
+            _fleet_chat_tx(sim, stats, sock, peer_addr, f, k,
+                           p.fleet_interval, zrngs.stream(f"fleet-{f}-{k}")),
+            name=f"{vm.name}-tx",
+        )
+
+
 # --------------------------------------------------------- cross-zone links --
 
 
@@ -368,13 +546,15 @@ def _start_heartbeats(sim, zname: str, stats: ZoneStats, border: Node,
 
 
 def build_scale_zone(shard, zone_index: int, n_zones: int,
-                     params: ScaleParams | None = None) -> Zone:
+                     params: ScaleParams | None = None,
+                     fleet_plan: FleetPlan | None = None) -> Zone:
     """Shard builder (module-level, hence picklable for process workers)."""
     p = params or ScaleParams()
     sim = shard.sim
     zone = _build_zone(sim, shard.rngs, zone_index, p)
     border = zone.internet.router
     peers: dict[int, IPAddress] = {}
+    neighbor_ifaces: dict[int, object] = {}
     for j in _ring_neighbors(zone_index, n_zones):
         my_addr, peer_addr = _cross_link_addrs(zone_index, j)
         iface = wire_cross_shard(
@@ -385,17 +565,32 @@ def build_scale_zone(shard, zone_index: int, n_zones: int,
         )
         border.routes.add(Prefix(peer_addr, 32), iface)
         peers[j] = peer_addr
+        neighbor_ifaces[j] = iface
+    # Cross-zone guest routes: every other zone's 10.x/8 guest space is
+    # reachable over the ring-shortest inter-AZ hop, so zone-spanning
+    # tenants (fleets) can talk VM-to-VM across shard boundaries.
+    for j in range(n_zones):
+        if j == zone_index or not neighbor_ifaces:
+            continue
+        nh = _ring_next_hop(zone_index, j, n_zones)
+        border.routes.add(
+            prefix(f"{_zone_base_octet(j)}.0.0.0/8"), neighbor_ifaces[nh]
+        )
     if peers:
         _start_heartbeats(sim, zone.name, zone.stats, border, peers, p)
+    if p.n_fleets > 0:
+        plan = fleet_plan if fleet_plan is not None else plan_fleet(p)
+        _deploy_fleet(sim, shard.rngs, zone, zone_index, plan, p)
     shard.result_fn = zone.stats.as_dict
     return zone
 
 
 def scale_builders(p: ScaleParams) -> dict:
     """The ``ShardedSimulation`` builder map for a scale run."""
+    plan = plan_fleet(p)
     return {
         f"z{i}": (build_scale_zone, {"zone_index": i, "n_zones": p.n_zones,
-                                     "params": p})
+                                     "params": p, "fleet_plan": plan})
         for i in range(p.n_zones)
     }
 
@@ -410,12 +605,13 @@ def build_scale_monolithic(
     """
     sim = Simulator(fast_path=fast_path)
     root = RngStreams(seed)
+    zone_rngs = [root.spawn(f"shard:z{i}") for i in range(p.n_zones)]
     zones = [
-        _build_zone(sim, root.spawn(f"shard:z{i}"), i, p)
-        for i in range(p.n_zones)
+        _build_zone(sim, zone_rngs[i], i, p) for i in range(p.n_zones)
     ]
     linked: set[tuple[int, int]] = set()
     peer_map: dict[int, dict[int, IPAddress]] = {i: {} for i in range(p.n_zones)}
+    iface_map: dict[tuple[int, int], object] = {}
     for i in range(p.n_zones):
         for j in _ring_neighbors(i, p.n_zones):
             pair = (min(i, j), max(i, j))
@@ -433,9 +629,26 @@ def build_scale_monolithic(
             zones[b].internet.router.routes.add(Prefix(addr_a, 32), iface_b)
             peer_map[a][b] = addr_b
             peer_map[b][a] = addr_a
+            iface_map[(a, b)] = iface_a
+            iface_map[(b, a)] = iface_b
+    # Mirror the sharded builder's cross-zone /8 guest routes (ring-shortest
+    # next hop, same tie-break) so both builds forward fleet traffic over
+    # the identical link sequence.
+    for i in range(p.n_zones):
+        for j in range(p.n_zones):
+            if i == j or not peer_map[i]:
+                continue
+            nh = _ring_next_hop(i, j, p.n_zones)
+            zones[i].internet.router.routes.add(
+                prefix(f"{_zone_base_octet(j)}.0.0.0/8"), iface_map[(i, nh)]
+            )
     for i, zone in enumerate(zones):
         if peer_map[i]:
             _start_heartbeats(
                 sim, zone.name, zone.stats, zone.internet.router, peer_map[i], p
             )
+    if p.n_fleets > 0:
+        plan = plan_fleet(p)
+        for i, zone in enumerate(zones):
+            _deploy_fleet(sim, zone_rngs[i], zone, i, plan, p)
     return sim, zones

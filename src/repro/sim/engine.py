@@ -298,6 +298,25 @@ class Simulator:
         """
         return self._heap[0][0] if self._heap else float("inf")
 
+    def peek_live(self) -> float:
+        """Time of the next *live* entry, or ``inf`` if none.
+
+        Unlike :meth:`peek`, leading stale callback-lane entries (cancelled
+        or rearmed handles awaiting lazy deletion) are popped off the heap
+        first — they would dispatch as no-ops anyway, so removing them is
+        observably identical and deterministic.  The sharded coordinator
+        uses this as its adaptive-lookahead hint: a dead RTO timer must not
+        cap how far an idle shard's window can stretch.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] == _KIND_CALL and entry[3]._entry_seq != entry[1]:
+                heappop(heap)
+                continue
+            return entry[0]
+        return float("inf")
+
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
 

@@ -2,11 +2,11 @@
 
 Partitions a topology into :class:`Shard` workers — one event heap (and
 optionally one OS process) per availability zone / tenant group — and runs
-them in lock-step windows of ``lookahead`` simulated seconds.  The classic
-conservative (Chandy–Misra style) argument applies: an inter-shard link's
-propagation delay bounds how soon one shard can affect another, so as long
-as every cross-shard link's delay is at least the window size, each shard
-can run a full window without ever receiving a message "from the past".
+them in synchronized windows of simulated time.  The classic conservative
+(Chandy–Misra style) argument applies: an inter-shard link's propagation
+delay bounds how soon one shard can affect another, so as long as every
+cross-shard link's delay is at least the window size, each shard can run a
+full window without ever receiving a message "from the past".
 
 Cross-shard links are modeled by :class:`ShardPortal` — the egress half of a
 point-to-point link whose far interface lives in another shard.  The portal
@@ -16,9 +16,41 @@ across shards produces bit-identical timestamps to the same topology wired
 with in-process links.  Transmitted packets become :class:`Envelope` records;
 at each window barrier the coordinator routes them to their destination
 shards, which inject them as ``call_at(arrival, iface.receive, packet)``
-timers in a canonical global order ``(arrival, src_shard, seq)`` — the
-determinism contract that makes the multiprocessing run bit-identical to the
-inline run, refereed by :attr:`ShardedSimulation.boundary_digest`.
+timers in a canonical global order ``(arrival, src_shard, seq)``.
+
+The coordinator is built for real hardware parallelism:
+
+* **Scatter-gather windows** — with ``parallel=True`` the ``window`` command
+  is broadcast to every forked worker *first*, then replies are collected as
+  they arrive (``multiprocessing.connection.wait`` over the pipes), so
+  shards genuinely overlap on multiple cores instead of advancing one at a
+  time behind a blocking send+recv.
+* **Adaptive lookahead** — each reply carries the shard's next live event
+  time (:meth:`~repro.sim.engine.Simulator.peek_live`).  When every shard is
+  idle until ``next_t`` (and no pending envelope arrives sooner), the next
+  window can safely stretch to ``next_t + lookahead``: nothing anywhere can
+  fire before ``next_t``, and the earliest cross-shard consequence of an
+  event at ``next_t`` lands no sooner than ``next_t + lookahead``.  Barrier
+  count collapses whenever shards coast (fluid-mode bulk flows, think-time
+  troughs, drained tails) while busy phases degrade gracefully to the
+  static ``lookahead``-sized windows.
+* **Batched envelope frames** — cross-process traffic is one length-prefixed
+  frame per window: struct-packed envelope metadata, an interned string
+  table, and a *single* pickle of the packet list (shared memo, payload
+  bytes interned once) instead of per-object pipe pickling.  Sync-overhead
+  metrics (windows, stretched windows, envelopes, frame bytes, per-shard
+  busy seconds) land in the metrics registry and
+  :meth:`ShardedSimulation.sync_stats`.
+
+**Digest invariance under window scheduling.**  Because adaptive windows
+change *when* envelopes reach the coordinator, the boundary digest referee
+is decoupled from the window schedule: routed envelopes are held in a
+min-heap keyed ``(arrival, src_index, seq)`` and folded into the SHA-256
+only once the barrier clock passes their arrival time.  Every envelope
+produced after a barrier at ``T`` arrives strictly later than ``T``, so the
+drained sequence is the globally sorted envelope stream — identical for the
+static schedule, any adaptive schedule, inline workers, forked workers and
+the reference engine.
 
 Determinism rules for shard authors:
 
@@ -37,9 +69,15 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import pickle
-from dataclasses import dataclass, field
+import struct
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from multiprocessing.connection import wait as _conn_wait
+from operator import attrgetter
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.metrics import METRICS
 from repro.net.link import WIRE_TAPS, LinkLedger, publish_link_delta
 from repro.net.packet import Packet, VirtualPayload
 from repro.sim.engine import Simulator
@@ -57,6 +95,23 @@ if TYPE_CHECKING:  # pragma: no cover
 #: inherited by the worker children, so shard-side violations raise in the
 #: child and surface as ``ShardError`` in the parent.
 CAUSALITY_TAPS: list[Any] = []
+
+#: Sync-overhead observability (coordinator side, parent process only).
+_SYNC_WINDOWS = METRICS.counter("shard.sync.windows")
+_SYNC_STRETCHED = METRICS.counter("shard.sync.windows_stretched")
+_SYNC_ENVELOPES = METRICS.counter("shard.sync.envelopes")
+_SYNC_FRAME_TX = METRICS.counter("shard.sync.frame_bytes_tx")
+_SYNC_FRAME_RX = METRICS.counter("shard.sync.frame_bytes_rx")
+_SYNC_STOP_ERRORS = METRICS.counter("shard.sync.stop_errors")
+
+_INF = float("inf")
+
+#: Canonical envelope orderings.  Local: per-shard output (seq is the
+#: per-shard send counter).  Global: the total order the digest referee and
+#: injection scheduling use — ``(src_index, seq)`` is unique per envelope,
+#: so the sort result is independent of gather order.
+_LOCAL_ORDER = attrgetter("arrival", "seq")
+_GLOBAL_ORDER = attrgetter("arrival", "src_index", "seq")
 
 
 class ShardError(Exception):
@@ -130,6 +185,103 @@ def canonical_envelope(env: Envelope) -> bytes:
         tuple(sorted((k, repr(v)) for k, v in packet.meta.items())),
     )
     return repr(form).encode()
+
+
+# ----------------------------------------------------------- frame codec --
+#
+# One frame per window direction:
+#
+#   head     <I n_envelopes> <H n_strings>
+#   strings  n_strings x (<H len> utf-8)          -- interned shard/port ids
+#   metas    n_envelopes x <d d I I H H H>        -- arrival, sent_now,
+#                                                    src_index, seq, then
+#                                                    string-table indexes for
+#                                                    src_shard/dst_shard/port
+#   blob     <Q len> pickle([packet, ...])        -- ONE pickle for all
+#                                                    packets: shared memo, so
+#                                                    repeated payload bytes /
+#                                                    header objects are
+#                                                    interned once per frame
+#
+# Doubles round-trip bit-exactly through struct, so arrival timestamps (the
+# determinism-critical field) are preserved to the last ulp.
+
+_FRAME_HEAD = struct.Struct("<IH")
+_STR_LEN = struct.Struct("<H")
+_ENV_META = struct.Struct("<ddIIHHH")
+_BLOB_LEN = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+#: Window-reply tail: peek, 5-field ledger delta, busy wall-seconds.
+_REPLY_TAIL = struct.Struct("<d5qd")
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+def encode_envelopes(envelopes: list[Envelope]) -> bytes:
+    """Serialize a window's envelope list as one batched frame."""
+    strings: list[str] = []
+    for env in envelopes:
+        s = env.src_shard
+        if s not in strings:
+            strings.append(s)
+        s = env.dst_shard
+        if s not in strings:
+            strings.append(s)
+        s = env.port_id
+        if s not in strings:
+            strings.append(s)
+    parts = [_FRAME_HEAD.pack(len(envelopes), len(strings))]
+    for s in strings:
+        raw = s.encode()
+        parts.append(_STR_LEN.pack(len(raw)))
+        parts.append(raw)
+    index = strings.index
+    packets = []
+    pack_meta = _ENV_META.pack
+    for env in envelopes:
+        parts.append(
+            pack_meta(
+                env.arrival, env.sent_now, env.src_index, env.seq,
+                index(env.src_shard), index(env.dst_shard), index(env.port_id),
+            )
+        )
+        packets.append(env.packet)
+    blob = pickle.dumps(packets, _PICKLE_PROTO)
+    parts.append(_BLOB_LEN.pack(len(blob)))
+    parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_envelopes(buf: bytes, offset: int = 0) -> tuple[list[Envelope], int]:
+    """Decode one envelope frame; returns ``(envelopes, end_offset)``."""
+    n_env, n_strings = _FRAME_HEAD.unpack_from(buf, offset)
+    offset += _FRAME_HEAD.size
+    strings: list[str] = []
+    for _ in range(n_strings):
+        (length,) = _STR_LEN.unpack_from(buf, offset)
+        offset += _STR_LEN.size
+        strings.append(bytes(buf[offset:offset + length]).decode())
+        offset += length
+    metas = []
+    unpack_meta = _ENV_META.unpack_from
+    meta_size = _ENV_META.size
+    for _ in range(n_env):
+        metas.append(unpack_meta(buf, offset))
+        offset += meta_size
+    (blob_len,) = _BLOB_LEN.unpack_from(buf, offset)
+    offset += _BLOB_LEN.size
+    packets = pickle.loads(buf[offset:offset + blob_len])
+    offset += blob_len
+    envelopes = []
+    for i in range(n_env):
+        arrival, sent_now, src_index, seq, s_i, d_i, p_i = metas[i]
+        envelopes.append(
+            Envelope(
+                arrival=arrival, src_shard=strings[s_i], src_index=src_index,
+                seq=seq, dst_shard=strings[d_i], port_id=strings[p_i],
+                packet=packets[i], sent_now=sent_now,
+            )
+        )
+    return envelopes, offset
 
 
 class ShardPortal:
@@ -316,10 +468,12 @@ class Shard:
         """Run this shard's clock to ``window_end``; return boundary traffic.
 
         Returns ``(envelopes, peek, ledger_delta)``: ``peek`` is the next
-        local event time (``inf`` when idle) — the coordinator's early-stop
-        hint; stale cancelled timers may inflate it, so correctness never
-        depends on it.  ``ledger_delta`` is this window's link accounting,
-        published by the coordinator in the parent process.
+        *live* local event time (``inf`` when idle; stale cancelled timers
+        are pruned, see :meth:`Simulator.peek_live`) — the coordinator's
+        adaptive-lookahead hint; correctness never depends on it being
+        tight, only on it never reporting *later* than the true next event.
+        ``ledger_delta`` is this window's link accounting, published by the
+        coordinator in the parent process.
         """
         self.sim.run(until=window_end)
         if CAUSALITY_TAPS:
@@ -331,8 +485,8 @@ class Shard:
             if portal.out:
                 out.extend(portal.out)
                 portal.out = []
-        out.sort(key=lambda e: (e.arrival, e.seq))
-        return out, self.sim.peek(), self.ledger.take_delta()
+        out.sort(key=_LOCAL_ORDER)
+        return out, self.sim.peek_live(), self.ledger.take_delta()
 
     def finish(self) -> tuple[Any, tuple[int, ...]]:
         result = self.result_fn() if self.result_fn is not None else None
@@ -344,6 +498,9 @@ class Shard:
 # ----------------------------------------------------------------- workers --
 
 Builder = Callable[..., None]
+
+#: How often a blocking receive re-checks worker liveness (wall seconds).
+_POLL_INTERVAL_S = 0.05
 
 
 class _InlineWorker:
@@ -358,17 +515,35 @@ class _InlineWorker:
         builder: Builder,
         kwargs: dict[str, Any],
     ) -> None:
+        self.name = name
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self._window: tuple[float, list[Envelope]] | None = None
         self.shard = Shard(name, index, seed, fast_path=fast_path)
         builder(self.shard, **kwargs)
 
     def ports(self) -> dict[str, Any]:
         return self.shard.ports()
 
+    def start_window(self, window_end: float, envelopes: list[Envelope]) -> None:
+        self._window = (window_end, envelopes)
+
+    def collect_window(
+        self,
+    ) -> tuple[list[Envelope], float, tuple[int, ...], float]:
+        window_end, envelopes = self._window  # type: ignore[misc]
+        self._window = None
+        self.shard.inject(envelopes)
+        out, peek, delta = self.shard.advance(window_end)
+        return out, peek, delta, 0.0
+
     def window(
         self, window_end: float, envelopes: list[Envelope]
     ) -> tuple[list[Envelope], float, tuple[int, ...]]:
-        self.shard.inject(envelopes)
-        return self.shard.advance(window_end)
+        """Blocking one-shot window (kept for tests and direct drivers)."""
+        self.start_window(window_end, envelopes)
+        out, peek, delta, _busy = self.collect_window()
+        return out, peek, delta
 
     def finish(self) -> tuple[Any, tuple[int, ...]]:
         return self.shard.finish()
@@ -386,37 +561,62 @@ def _worker_main(
     builder: Builder,
     kwargs: dict[str, Any],
 ) -> None:
-    """Child-process loop: build the shard locally, then serve commands."""
+    """Child-process loop: build the shard locally, then serve commands.
+
+    Wire protocol (all messages via ``send_bytes``/``recv_bytes``):
+
+    ======  =========================================================
+    parent  ``W`` + window_end f64 + envelope frame; ``F``; ``S``
+    child   ``P`` + pickled ports (once, after build);
+            ``W`` + envelope frame + reply tail (peek, ledger delta,
+            busy wall-seconds); ``F`` + pickled (result, delta);
+            ``E`` + utf-8 error text (then the child exits)
+    ======  =========================================================
+    """
     try:
         shard = Shard(name, index, seed, fast_path=fast_path)
         builder(shard, **kwargs)
-        conn.send(("ok", shard.ports()))
+        conn.send_bytes(b"P" + pickle.dumps(shard.ports(), _PICKLE_PROTO))
     except BaseException as exc:  # noqa: BLE001 - report, then die
-        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.send_bytes(b"E" + f"{type(exc).__name__}: {exc}".encode())
         return
     while True:
         try:
-            cmd, payload = conn.recv()
+            msg = conn.recv_bytes()
         except EOFError:
             return
+        op = msg[:1]
         try:
-            if cmd == "window":
-                window_end, envelopes = payload
+            if op == b"W":
+                (window_end,) = _F64.unpack_from(msg, 1)
+                envelopes, _ = decode_envelopes(msg, 1 + _F64.size)
+                start = time.perf_counter()  # repro: ignore[DET001] -- sync-overhead observability only; never feeds simulation state
                 shard.inject(envelopes)
-                conn.send(("ok", shard.advance(window_end)))
-            elif cmd == "finish":
-                conn.send(("ok", shard.finish()))
-            elif cmd == "stop":
+                out, peek, delta = shard.advance(window_end)
+                busy = time.perf_counter() - start  # repro: ignore[DET001] -- sync-overhead observability only; never feeds simulation state
+                conn.send_bytes(
+                    b"".join(
+                        (
+                            b"W",
+                            encode_envelopes(out),
+                            _REPLY_TAIL.pack(peek, *delta, busy),
+                        )
+                    )
+                )
+            elif op == b"F":
+                conn.send_bytes(b"F" + pickle.dumps(shard.finish(), _PICKLE_PROTO))
+            elif op == b"S":
                 return
             else:  # pragma: no cover - protocol bug
-                conn.send(("error", f"unknown command {cmd!r}"))
+                conn.send_bytes(b"E" + b"unknown command " + bytes(op))
+                return
         except BaseException as exc:  # noqa: BLE001
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send_bytes(b"E" + f"{type(exc).__name__}: {exc}".encode())
             return
 
 
 class _ProcessWorker:
-    """Runs a shard in a forked child, speaking a tiny pipe protocol."""
+    """Runs a shard in a forked child, speaking a framed pipe protocol."""
 
     def __init__(
         self,
@@ -428,6 +628,9 @@ class _ProcessWorker:
         kwargs: dict[str, Any],
     ) -> None:
         self.name = name
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self._stopped = False
         ctx = multiprocessing.get_context("fork")
         self._conn, child_conn = ctx.Pipe()
         self._proc = ctx.Process(
@@ -437,36 +640,112 @@ class _ProcessWorker:
         )
         self._proc.start()
         child_conn.close()
-        self._ports = self._recv()
+        self._ports = pickle.loads(self._expect(b"P")[1:])
 
-    def _recv(self) -> Any:
-        status, payload = self._conn.recv()
-        if status != "ok":
-            raise ShardError(f"shard {self.name!r} worker failed: {payload}")
-        return payload
+    # -- plumbing -------------------------------------------------------------
+    @property
+    def connection(self):
+        """The parent end of the pipe (for ``connection.wait`` gathering)."""
+        return self._conn
 
+    def _recv_msg(self) -> bytes:
+        """Blocking receive with a liveness check: a dead child raises a
+        :class:`ShardError` naming the shard instead of deadlocking."""
+        conn = self._conn
+        proc = self._proc
+        while not conn.poll(_POLL_INTERVAL_S):
+            if not proc.is_alive():
+                raise ShardError(
+                    f"shard {self.name!r} worker died without replying "
+                    f"(exitcode {proc.exitcode})"
+                )
+        try:
+            msg = conn.recv_bytes()
+        except EOFError:
+            raise ShardError(
+                f"shard {self.name!r} worker closed its pipe mid-reply "
+                f"(exitcode {proc.exitcode})"
+            ) from None
+        if msg[:1] == b"E":
+            raise ShardError(
+                f"shard {self.name!r} worker failed: "
+                f"{msg[1:].decode(errors='replace')}"
+            )
+        self.bytes_rx += len(msg)
+        return msg
+
+    def _expect(self, op: bytes) -> bytes:
+        msg = self._recv_msg()
+        if msg[:1] != op:
+            raise ShardError(
+                f"shard {self.name!r} worker protocol error: expected "
+                f"{op!r}, got {msg[:1]!r}"
+            )
+        return msg
+
+    def _send(self, msg: bytes) -> None:
+        try:
+            self._conn.send_bytes(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(
+                f"shard {self.name!r} worker is gone "
+                f"({type(exc).__name__}; exitcode {self._proc.exitcode})"
+            ) from exc
+        self.bytes_tx += len(msg)
+
+    # -- commands -------------------------------------------------------------
     def ports(self) -> dict[str, Any]:
         return self._ports
+
+    def start_window(self, window_end: float, envelopes: list[Envelope]) -> None:
+        self._send(
+            b"".join((b"W", _F64.pack(window_end), encode_envelopes(envelopes)))
+        )
+
+    def collect_window(
+        self,
+    ) -> tuple[list[Envelope], float, tuple[int, ...], float]:
+        msg = self._expect(b"W")
+        envelopes, offset = decode_envelopes(msg, 1)
+        peek, d0, d1, d2, d3, d4, busy = _REPLY_TAIL.unpack_from(msg, offset)
+        return envelopes, peek, (d0, d1, d2, d3, d4), busy
 
     def window(
         self, window_end: float, envelopes: list[Envelope]
     ) -> tuple[list[Envelope], float, tuple[int, ...]]:
-        self._conn.send(("window", (window_end, envelopes)))
-        return self._recv()
+        """Blocking one-shot window (kept for tests and direct drivers)."""
+        self.start_window(window_end, envelopes)
+        out, peek, delta, _busy = self.collect_window()
+        return out, peek, delta
 
     def finish(self) -> tuple[Any, tuple[int, ...]]:
-        self._conn.send(("finish", None))
-        return self._recv()
+        self._send(b"F")
+        return pickle.loads(self._expect(b"F")[1:])
 
     def stop(self) -> None:
+        """Stop the child; always leaves no live process behind.
+
+        Safe to call on an already-dead or already-stopped worker: the
+        polite ``S`` command is best-effort (the pipe may already be
+        broken), and any child still alive after the grace join is
+        terminated outright.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        proc = self._proc
         try:
-            self._conn.send(("stop", None))
-        except (BrokenPipeError, OSError):
-            pass
-        self._proc.join(timeout=10)
-        if self._proc.is_alive():  # pragma: no cover - hung child
-            self._proc.terminate()
-        self._conn.close()
+            if proc.is_alive():
+                try:
+                    self._conn.send_bytes(b"S")
+                except (BrokenPipeError, OSError):
+                    pass  # child already went away; terminate below
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        finally:
+            self._conn.close()
 
 
 # ------------------------------------------------------------- coordinator --
@@ -479,6 +758,12 @@ class ShardedSimulation:
     module-level callable ``builder(shard, **kwargs)`` (it must be picklable
     for ``parallel=True``) that wires its partition inside ``shard.sim``,
     opens boundary ports, and sets ``shard.result_fn``.
+
+    ``parallel=True`` forks one worker process per shard and scatter-gathers
+    every window; ``adaptive=True`` (default) stretches windows past the
+    static lookahead whenever every shard's next live event allows it.  The
+    boundary digest is schedule-invariant (see module docstring), so
+    adaptive and static runs of the same scenario produce identical digests.
     """
 
     def __init__(
@@ -488,21 +773,47 @@ class ShardedSimulation:
         lookahead: float | None = None,
         parallel: bool = False,
         fast_path: bool | None = None,
+        adaptive: bool = True,
     ) -> None:
         if not builders:
             raise ShardError("no shards")
         self.seed = seed
         self.parallel = parallel
+        self.adaptive = adaptive
         self.windows = 0
+        self.stretched_windows = 0
         self.envelopes_routed = 0
+        self.window_wall_s = 0.0
         self._digest = hashlib.sha256()
+        #: Routed-but-not-yet-digested envelopes, keyed (arrival, src_index,
+        #: seq): drained into the SHA-256 once the barrier clock passes their
+        #: arrival, which makes the digest window-schedule invariant.
+        self._undigested: list[tuple[float, int, int, Envelope]] = []
         worker_cls = _ProcessWorker if parallel else _InlineWorker
         self.workers: dict[str, Any] = {}
-        for index, (name, (builder, kwargs)) in enumerate(sorted(builders.items())):
-            self.workers[name] = worker_cls(
-                name, index, seed, fast_path, builder, kwargs
-            )
-        self._validate_ports(lookahead)
+        try:
+            for index, (name, (builder, kwargs)) in enumerate(
+                sorted(builders.items())
+            ):
+                self.workers[name] = worker_cls(
+                    name, index, seed, fast_path, builder, kwargs
+                )
+            self._validate_ports(lookahead)
+        except BaseException:
+            # A failed builder (or port validation) must not leak the
+            # already-forked sibling workers.
+            self._stop_workers()
+            raise
+        self._names: list[str] = list(self.workers)
+        self._worker_list: list[Any] = list(self.workers.values())
+        n = len(self._worker_list)
+        self._dst_index = {name: i for i, name in enumerate(self._names)}
+        self._pending: list[list[Envelope]] = [[] for _ in range(n)]
+        self._peeks: list[float] = [0.0] * n
+        self._busy: list[float] = [0.0] * n
+        if parallel:
+            self._conns = [w.connection for w in self._worker_list]
+            self._conn_index = {conn: i for i, conn in enumerate(self._conns)}
         self.results: dict[str, Any] = {}
 
     def _validate_ports(self, lookahead: float | None) -> None:
@@ -536,50 +847,205 @@ class ShardedSimulation:
         """SHA-256 over every envelope routed so far, in global order."""
         return self._digest.hexdigest()
 
-    def run(self, until: float) -> dict[str, Any]:
-        """Advance all shards to ``until`` in lookahead-sized windows."""
-        workers = self.workers
-        pending: dict[str, list[Envelope]] = {name: [] for name in workers}
-        t = 0.0
-        while t < until:
-            window_end = min(t + self.lookahead, until)
-            outs: list[Envelope] = []
-            peeks: list[float] = []
-            for name in workers:
-                sent, peek, delta = workers[name].window(window_end, pending[name])
-                pending[name] = []
-                outs.extend(sent)
-                peeks.append(peek)
+    def sync_stats(self) -> dict[str, Any]:
+        """Per-run synchronization overhead (windows/s, bytes, idle time)."""
+        wall = self.window_wall_s
+        per_shard: dict[str, Any] = {}
+        for i, name in enumerate(self._names):
+            worker = self._worker_list[i]
+            busy = self._busy[i]
+            idle = None
+            if self.parallel and wall > 0.0:
+                idle = min(1.0, max(0.0, 1.0 - busy / wall))
+            per_shard[name] = {
+                "busy_s": busy,
+                "idle_fraction": idle,
+                "frame_bytes_tx": worker.bytes_tx,
+                "frame_bytes_rx": worker.bytes_rx,
+            }
+        return {
+            "parallel": self.parallel,
+            "adaptive": self.adaptive,
+            "windows": self.windows,
+            "stretched_windows": self.stretched_windows,
+            "envelopes_routed": self.envelopes_routed,
+            "envelopes_per_window": (
+                self.envelopes_routed / self.windows if self.windows else 0.0
+            ),
+            "window_wall_s": wall,
+            "windows_per_wall_s": (self.windows / wall if wall > 0.0 else 0.0),
+            "frame_bytes_tx": sum(w.bytes_tx for w in self._worker_list),
+            "frame_bytes_rx": sum(w.bytes_rx for w in self._worker_list),
+            "per_shard": per_shard,
+        }
+
+    # -- the window loop (hot: see analysis/perf.py ROOTS) ---------------------
+    def _sync_window(self, window_end: float) -> list[Envelope]:
+        """Scatter one window to every worker, then gather all replies.
+
+        In parallel mode the ``window`` command is broadcast first and
+        replies are collected as they arrive (``connection.wait``), so
+        shard work genuinely overlaps across cores; merged output order is
+        irrelevant because routing re-sorts canonically.
+        """
+        workers = self._worker_list
+        pending = self._pending
+        peeks = self._peeks
+        busy_acc = self._busy
+        n = len(workers)
+        start = time.perf_counter()  # repro: ignore[DET001] -- sync-overhead observability only; never feeds simulation state
+        for i in range(n):
+            workers[i].start_window(window_end, pending[i])
+            pending[i] = []
+        outs: list[Envelope] = []
+        if self.parallel:
+            conn_index = self._conn_index
+            remaining = list(self._conns)
+            while remaining:
+                ready = _conn_wait(remaining, _POLL_INTERVAL_S)
+                if not ready:
+                    for conn in remaining:
+                        i = conn_index[conn]
+                        if not workers[i]._proc.is_alive():
+                            raise ShardError(
+                                f"shard {self._names[i]!r} worker died "
+                                "mid-window (exitcode "
+                                f"{workers[i]._proc.exitcode})"
+                            )
+                    continue
+                for conn in ready:
+                    i = conn_index[conn]
+                    sent, peek, delta, busy = workers[i].collect_window()
+                    remaining.remove(conn)
+                    peeks[i] = peek
+                    busy_acc[i] += busy
+                    publish_link_delta(delta)
+                    if sent:
+                        outs.extend(sent)
+        else:
+            for i in range(n):
+                sent, peek, delta, _busy = workers[i].collect_window()
+                peeks[i] = peek
                 publish_link_delta(delta)
+                if sent:
+                    outs.extend(sent)
+        self.window_wall_s += time.perf_counter() - start  # repro: ignore[DET001] -- sync-overhead observability only; never feeds simulation state
+        return outs
+
+    def _route_window(self, outs: list[Envelope], window_end: float) -> None:
+        """Validate, order and buffer one barrier's cross-shard envelopes."""
+        outs.sort(key=_GLOBAL_ORDER)
+        taps = CAUSALITY_TAPS
+        lookahead = self.lookahead
+        undigested = self._undigested
+        dst_index = self._dst_index
+        pending = self._pending
+        for env in outs:
+            if taps:
+                for tap in taps:
+                    tap.on_route(env, window_end, lookahead)
+            if env.arrival < window_end:
+                raise LookaheadError(
+                    f"envelope from {env.src_shard!r} arrives at "
+                    f"{env.arrival}, inside the window ending {window_end}"
+                )
+            heappush(undigested, (env.arrival, env.src_index, env.seq, env))
+            pending[dst_index[env.dst_shard]].append(env)
+        self.envelopes_routed += len(outs)
+
+    def _drain_digest(self, barrier: float) -> None:
+        """Fold every envelope with ``arrival <= barrier`` into the digest.
+
+        All future envelopes arrive strictly after the current barrier, so
+        the drained sequence is the globally ``(arrival, src_index, seq)``
+        sorted envelope stream — independent of the window schedule.
+        """
+        undigested = self._undigested
+        digest = self._digest
+        taps = CAUSALITY_TAPS
+        while undigested and undigested[0][0] <= barrier:
+            _arrival, _src, _seq, env = heappop(undigested)
+            if taps:
+                for tap in taps:
+                    on_digest = getattr(tap, "on_digest", None)
+                    if on_digest is not None:
+                        on_digest(env, barrier)
+            digest.update(canonical_envelope(env))
+
+    # -- run ------------------------------------------------------------------
+    def run(self, until: float) -> dict[str, Any]:
+        """Advance all shards to ``until`` in synchronized windows.
+
+        On any coordinator or worker error every sibling worker is stopped
+        (terminated if necessary) before the error propagates — a failing
+        shard never leaks live children.
+        """
+        try:
+            return self._run(until)
+        except BaseException:
+            self._stop_workers()
+            raise
+
+    def _run(self, until: float) -> dict[str, Any]:
+        if CAUSALITY_TAPS:
+            for tap in CAUSALITY_TAPS:
+                on_run_start = getattr(tap, "on_run_start", None)
+                if on_run_start is not None:
+                    on_run_start(self)
+        lookahead = self.lookahead
+        adaptive = self.adaptive
+        pending = self._pending
+        peeks = self._peeks
+        t = 0.0
+        window_end = min(lookahead, until)
+        while t < until:
+            outs = self._sync_window(window_end)
             self.windows += 1
             if outs:
-                # Canonical global order: arrival time, then source shard,
-                # then per-source send order.  Destination shards schedule
-                # injections in this order, so timer sequence numbers — and
-                # therefore same-timestamp tie-breaks — are reproducible.
-                outs.sort(key=lambda e: (e.arrival, e.src_index, e.seq))
-                digest = self._digest
-                taps = CAUSALITY_TAPS
-                for env in outs:
-                    if taps:
-                        for tap in taps:
-                            tap.on_route(env, window_end, self.lookahead)
-                    if env.arrival < window_end:
-                        raise LookaheadError(
-                            f"envelope from {env.src_shard!r} arrives at "
-                            f"{env.arrival}, inside the window ending {window_end}"
-                        )
-                    digest.update(canonical_envelope(env))
-                    pending[env.dst_shard].append(env)
-                self.envelopes_routed += len(outs)
+                self._route_window(outs, window_end)
+            self._drain_digest(window_end)
             t = window_end
-            if not outs and all(p == float("inf") for p in peeks):
-                break  # every shard idle and nothing in flight: done early
-        self.results = {}
-        for name in workers:
-            result, delta = workers[name].finish()
+            # The adaptive hint: the earliest instant anything, anywhere,
+            # can happen — a shard's next live event or a routed envelope
+            # waiting to be injected.  Nothing can fire before it, so the
+            # earliest cross-shard consequence arrives >= next_t + lookahead.
+            next_t = min(peeks)
+            for bucket in pending:
+                for env in bucket:
+                    if env.arrival < next_t:
+                        next_t = env.arrival
+            if next_t == _INF:
+                break  # every shard idle and nothing in flight: done
+            window_end = t + lookahead
+            if adaptive and next_t + lookahead > window_end:
+                window_end = next_t + lookahead
+                self.stretched_windows += 1
+            if window_end > until:
+                window_end = until
+            if CAUSALITY_TAPS:
+                for tap in CAUSALITY_TAPS:
+                    on_window = getattr(tap, "on_window", None)
+                    if on_window is not None:
+                        on_window(t, window_end, next_t, lookahead)
+        self._drain_digest(_INF)
+        results: dict[str, Any] = {}
+        for i, name in enumerate(self._names):
+            result, delta = self._worker_list[i].finish()
             publish_link_delta(delta)
-            self.results[name] = result
-        for worker in workers.values():
-            worker.stop()
-        return self.results
+            results[name] = result
+        self.results = results
+        self._stop_workers()
+        _SYNC_WINDOWS.value += self.windows
+        _SYNC_STRETCHED.value += self.stretched_windows
+        _SYNC_ENVELOPES.value += self.envelopes_routed
+        _SYNC_FRAME_TX.value += sum(w.bytes_tx for w in self._worker_list)
+        _SYNC_FRAME_RX.value += sum(w.bytes_rx for w in self._worker_list)
+        return results
+
+    def _stop_workers(self) -> None:
+        """Stop every worker; never raises (cleanup must not mask errors)."""
+        for worker in self.workers.values():
+            try:
+                worker.stop()
+            except Exception:  # pragma: no cover - secondary cleanup failure
+                _SYNC_STOP_ERRORS.value += 1

@@ -1,0 +1,97 @@
+"""Shard-aware placement planner: determinism, anchors, balance, quality."""
+
+import pytest
+
+from repro.net.topology import PlacementPlan, plan_shard_placement
+
+
+def ring_edges(members, weight=1.0):
+    n = len(members)
+    return [
+        (members[i], members[(i + 1) % n], weight)
+        for i in range(n)
+        if n > 1 and (n != 2 or i == 0)
+    ]
+
+
+def test_disjoint_cliques_land_on_separate_shards():
+    """Two groups that only talk internally must not be split or mixed."""
+    a = [f"a{i}" for i in range(3)]
+    b = [f"b{i}" for i in range(3)]
+    plan = plan_shard_placement(a + b, ring_edges(a) + ring_edges(b), 2)
+    assert len({plan.shard_of(x) for x in a}) == 1
+    assert len({plan.shard_of(x) for x in b}) == 1
+    assert plan.shard_of("a0") != plan.shard_of("b0")
+    quality = plan.quality()
+    assert quality["cross_edges"] == 0
+    assert quality["cross_weight_fraction"] == 0.0
+    assert quality["load_imbalance"] == pytest.approx(0.0)
+
+
+def test_plan_is_deterministic():
+    items = [f"v{i}" for i in range(12)]
+    edges = ring_edges(items[:6]) + ring_edges(items[6:])
+    first = plan_shard_placement(items, edges, 3)
+    second = plan_shard_placement(items, edges, 3)
+    assert first.assignment == second.assignment
+    assert first.quality() == second.quality()
+
+
+def test_anchors_are_pinned():
+    items = ["x", "y", "z"]
+    edges = [("x", "y", 5.0), ("y", "z", 5.0)]
+    plan = plan_shard_placement(
+        items, edges, 2, anchors={"x": 1}, balance_tolerance=10.0
+    )
+    assert plan.shard_of("x") == 1
+    # With a generous cap the whole chain follows its anchor.
+    assert plan.shard_of("y") == 1
+    assert plan.shard_of("z") == 1
+
+
+def test_balance_cap_splits_oversized_groups():
+    """A clique that exceeds the per-shard cap must spill onto other shards
+    rather than pile onto one."""
+    items = [f"v{i}" for i in range(8)]
+    edges = [
+        (items[i], items[j], 1.0)
+        for i in range(8)
+        for j in range(i + 1, 8)
+    ]
+    plan = plan_shard_placement(items, edges, 2, balance_tolerance=0.25)
+    loads = plan.quality()["shard_load"]
+    assert max(loads) <= 8 / 2 * 1.25 + 1e-9
+
+
+def test_weighted_items_balance_by_weight():
+    items = ["big", "s1", "s2", "s3", "s4"]
+    weights = {"big": 4.0, "s1": 1.0, "s2": 1.0, "s3": 1.0, "s4": 1.0}
+    plan = plan_shard_placement(items, [], 2, weights=weights)
+    loads = plan.quality()["shard_load"]
+    assert sorted(loads) == [4.0, 4.0]
+
+
+def test_unknown_edge_item_rejected():
+    with pytest.raises(ValueError):
+        plan_shard_placement(["a"], [("a", "ghost", 1.0)], 2)
+
+
+def test_bad_anchor_rejected():
+    with pytest.raises(ValueError):
+        plan_shard_placement(["a"], [], 2, anchors={"a": 5})
+    with pytest.raises(ValueError):
+        plan_shard_placement(["a"], [], 2, anchors={"ghost": 0})
+
+
+def test_quality_reports_cut():
+    assignment = {"a": 0, "b": 1}
+    plan = PlacementPlan(
+        n_shards=2,
+        assignment=assignment,
+        edges=[("a", "b", 2.0)],
+        weights={"a": 1.0, "b": 1.0},
+    )
+    quality = plan.quality()
+    assert quality["cross_edges"] == 1
+    assert quality["cross_weight"] == 2.0
+    assert quality["cross_weight_fraction"] == 1.0

@@ -11,9 +11,17 @@ import pytest
 
 from repro.net.addresses import Prefix, ipv4
 from repro.net.node import Node
+from repro.net.packet import Packet
 from repro.net.topology import wire_cross_shard
 from repro.net.udp import UdpStack
-from repro.sim.shard import LookaheadError, ShardedSimulation, ShardError
+from repro.sim.shard import (
+    Envelope,
+    LookaheadError,
+    ShardedSimulation,
+    ShardError,
+    decode_envelopes,
+    encode_envelopes,
+)
 
 LEFT_ADDR = ipv4("10.7.0.1")
 RIGHT_ADDR = ipv4("10.7.0.2")
@@ -79,8 +87,10 @@ def echo_builders(**left_kw):
     }
 
 
-def run_echo(seed=42, until=1.0, **kwargs):
-    sharded = ShardedSimulation(echo_builders(), seed, **kwargs)
+def run_echo(seed=42, until=1.0, builders=None, **kwargs):
+    if builders is None:
+        builders = echo_builders()
+    sharded = ShardedSimulation(builders, seed, **kwargs)
     results = sharded.run(until)
     return sharded, results
 
@@ -165,6 +175,195 @@ def test_link_counters_aggregate_across_workers():
     assert inline[1] > 0
 
 
+# --- adaptive lookahead -------------------------------------------------------
+
+
+def test_adaptive_digest_matches_static():
+    """The digest referee must be invariant under the window schedule: an
+    adaptive run digests the identical canonical envelope stream as the
+    static-lookahead run, with no more windows than the static schedule."""
+    adaptive, adaptive_res = run_echo(adaptive=True)
+    static, static_res = run_echo(adaptive=False)
+    assert adaptive_res == static_res
+    assert adaptive.boundary_digest == static.boundary_digest
+    assert adaptive.windows <= static.windows
+    assert adaptive.stretched_windows > 0  # jittered pings leave idle gaps
+
+
+def test_adaptive_process_matches_adaptive_inline():
+    inline, inline_res = run_echo(parallel=False, adaptive=True)
+    procs, procs_res = run_echo(parallel=True, adaptive=True)
+    assert procs_res == inline_res
+    assert procs.boundary_digest == inline.boundary_digest
+    assert procs.windows == inline.windows
+
+
+def test_sync_stats_shape():
+    sharded, _ = run_echo(parallel=False)
+    stats = sharded.sync_stats()
+    assert stats["windows"] == sharded.windows
+    assert stats["envelopes_routed"] == 40
+    assert stats["envelopes_per_window"] == pytest.approx(
+        40 / sharded.windows
+    )
+    assert set(stats["per_shard"]) == {"left", "right"}
+    assert stats["window_wall_s"] > 0.0
+
+
+# --- early exit ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("parallel", [False, True])
+def test_early_exit_only_when_drained(parallel):
+    """``run(until=...)`` with a huge horizon must stop as soon as every
+    shard is idle AND nothing is in flight — but not a window earlier."""
+    sharded, results = run_echo(
+        until=1000.0, parallel=parallel, builders=echo_builders(n_packets=3)
+    )
+    # All traffic completed before exit: nothing was abandoned in flight.
+    assert results["left"]["sent"] == 3
+    assert results["right"]["received"] == 3
+    assert results["left"]["echoed"] == 3
+    assert sharded.envelopes_routed == 6
+    # And the loop exited long before the nominal horizon's window count
+    # (1000 s / 2 ms lookahead = 500k static windows).
+    assert sharded.windows < 1000
+
+
+@pytest.mark.parametrize("parallel", [False, True])
+def test_early_exit_waits_for_later_window_envelope(parallel):
+    """The trap: every peek is ``inf`` while an envelope is still in flight,
+    arriving many windows later (50 ms link delay, 2 ms lookahead).  The
+    coordinator must keep running until it lands, not exit at the first
+    all-idle barrier."""
+    builders = {
+        "left": (build_left, {"n_packets": 1, "delay_s": 50e-3}),
+        "right": (build_right, {"delay_s": 50e-3}),
+    }
+    sharded = ShardedSimulation(builders, 42, lookahead=2e-3, parallel=parallel)
+    results = sharded.run(1000.0)
+    assert results["right"]["received"] == 1
+    assert results["left"]["echoed"] == 1
+    assert sharded.envelopes_routed == 2
+
+
+# --- worker failure containment ----------------------------------------------
+
+
+def build_bomb(shard, fuse_s=0.05):
+    """A shard whose simulation raises mid-run (inside ``advance``)."""
+    build_right(shard)
+
+    def boom():
+        raise RuntimeError("bomb went off")
+
+    shard.sim.call_later(fuse_s, boom)
+
+
+def test_failing_worker_stops_siblings():
+    """Regression: a worker failing mid-window used to leak its live forked
+    siblings.  Every worker process must be gone after ``run()`` raises."""
+    builders = {
+        "left": (build_left, {}),
+        "right": (build_bomb, {}),
+    }
+    sharded = ShardedSimulation(builders, 42, parallel=True)
+    with pytest.raises(ShardError, match="bomb went off"):
+        sharded.run(1.0)
+    for worker in sharded.workers.values():
+        assert not worker._proc.is_alive()
+
+
+def test_failing_worker_inline_mode_raises():
+    builders = {
+        "left": (build_left, {}),
+        "right": (build_bomb, {}),
+    }
+    sharded = ShardedSimulation(builders, 42, parallel=False)
+    with pytest.raises(RuntimeError, match="bomb went off"):
+        sharded.run(1.0)
+
+
+def test_failing_builder_stops_siblings():
+    """A builder crash during construction must not leak the already-forked
+    sibling workers either."""
+
+    def bad_builder(shard):
+        raise ValueError("builder exploded")
+
+    builders = {
+        "left": (build_left, {}),
+        "right": (bad_builder, {}),
+    }
+    with pytest.raises(ShardError, match="builder exploded"):
+        ShardedSimulation(builders, 42, parallel=True)
+
+
+def test_dead_child_raises_named_shard_error():
+    """Regression: a blocking recv on a dead child used to deadlock.  The
+    liveness check must fail fast with a ShardError naming the shard."""
+    sharded = ShardedSimulation(echo_builders(), 42, parallel=True)
+    victim = sharded.workers["right"]
+    victim._proc.terminate()
+    victim._proc.join(timeout=5)
+    with pytest.raises(ShardError, match="right"):
+        sharded.run(1.0)
+    for worker in sharded.workers.values():
+        assert not worker._proc.is_alive()
+
+
+def test_stop_is_idempotent_on_dead_child():
+    sharded = ShardedSimulation(echo_builders(), 42, parallel=True)
+    for worker in sharded.workers.values():
+        worker._proc.terminate()
+        worker._proc.join(timeout=5)
+    for worker in sharded.workers.values():
+        worker.stop()
+        worker.stop()  # second stop must be a clean no-op
+
+
+# --- envelope frame codec -----------------------------------------------------
+
+
+def test_envelope_frame_roundtrip():
+    envelopes = [
+        Envelope(
+            arrival=0.125 + i * 1e-9, src_shard="left", src_index=0,
+            seq=i + 1, dst_shard="right", port_id="l->r",
+            packet=Packet(headers=(), payload=bytes([i]) * 32),
+            sent_now=0.1,
+        )
+        for i in range(5)
+    ]
+    buf = encode_envelopes(envelopes)
+    decoded, offset = decode_envelopes(buf)
+    assert offset == len(buf)
+    assert decoded == envelopes
+    # Arrival doubles survive bit-exactly (the determinism-critical field).
+    assert [e.arrival for e in decoded] == [e.arrival for e in envelopes]
+
+
+def test_envelope_frame_roundtrip_empty():
+    buf = encode_envelopes([])
+    decoded, offset = decode_envelopes(buf)
+    assert decoded == []
+    assert offset == len(buf)
+
+
+def test_envelope_frame_interns_strings():
+    """The string table stores each shard/port id once, not per envelope."""
+    envelopes = [
+        Envelope(
+            arrival=float(i), src_shard="left", src_index=0, seq=i,
+            dst_shard="right", port_id="l->r",
+            packet=Packet(headers=(), payload=b"x"),
+        )
+        for i in range(100)
+    ]
+    buf = encode_envelopes(envelopes)
+    assert buf.count(b"l->r") == 1
+
+
 # --- scale-scenario equivalence ----------------------------------------------
 
 
@@ -196,3 +395,60 @@ def test_scale_scenario_sharded_matches_monolithic():
     assert sum(z["errors"] for z in shard_res.values()) == 0
     assert sum(z["heartbeats_recv"] for z in shard_res.values()) > 0
     assert sharded.envelopes_routed > 0  # heartbeats crossed the boundary
+
+
+def test_fleet_sharded_matches_monolithic():
+    """Zone-spanning tenant fleets: cross-shard UDP chat (including multi-hop
+    forwarding through intermediate zones) must produce identical stats in
+    the sharded build and the monolithic twin."""
+    from repro.scenarios.rubis_scale import (
+        ScaleParams,
+        build_scale_monolithic,
+        scale_builders,
+    )
+
+    p = ScaleParams(
+        n_zones=3, n_clients=1, n_web=1, n_filler_vms=2,
+        n_racks=1, hosts_per_rack=2,
+        n_fleets=3, fleet_size=3, fleet_placement="scatter",
+    )
+    until = 2.0
+    sharded = ShardedSimulation(scale_builders(p), 7)
+    shard_res = sharded.run(until)
+
+    sim, zones = build_scale_monolithic(7, p)
+    sim.run(until=until)
+    mono_res = {z.name: z.stats.as_dict() for z in zones}
+    sim.close()
+
+    assert shard_res == mono_res
+    assert sum(z["fleet_sent"] for z in shard_res.values()) > 0
+    assert sum(z["fleet_recv"] for z in shard_res.values()) > 0
+
+
+def test_fleet_affinity_placement_cuts_cross_shard_traffic():
+    """The shard-aware placement pass must route fewer envelopes across
+    shard boundaries than the scatter baseline on the same fleet load."""
+    import dataclasses
+
+    from repro.scenarios.rubis_scale import ScaleParams, plan_fleet, scale_builders
+
+    base = ScaleParams(
+        n_zones=3, n_clients=1, n_web=1, n_filler_vms=2,
+        n_racks=1, hosts_per_rack=2, n_fleets=3, fleet_size=3,
+    )
+    counts = {}
+    for placement in ("affinity", "scatter"):
+        p = dataclasses.replace(base, fleet_placement=placement)
+        sharded = ShardedSimulation(scale_builders(p), 7)
+        sharded.run(2.0)
+        counts[placement] = sharded.envelopes_routed
+    assert counts["affinity"] < counts["scatter"]
+    affinity_quality = plan_fleet(base).quality
+    scatter_quality = plan_fleet(
+        dataclasses.replace(base, fleet_placement="scatter")
+    ).quality
+    assert (
+        affinity_quality["cross_weight_fraction"]
+        < scatter_quality["cross_weight_fraction"]
+    )
